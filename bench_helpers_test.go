@@ -1,0 +1,28 @@
+package hydra
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/tpcds"
+)
+
+// mustBuild captures and builds a summary for benchmarks and integration
+// tests.
+func mustBuild(tb testing.TB, cfg experiments.Config) (*TransferPackage, *Summary) {
+	tb.Helper()
+	s := tpcds.Schema(cfg.ScaleFactor)
+	db, err := tpcds.GenerateDatabase(s, cfg.Seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pkg, err := Capture(db, tpcds.Workload(cfg.Queries, cfg.Seed+4), CaptureOptions{SkipStats: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sum, _, err := Build(pkg, DefaultBuildOptions())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pkg, sum
+}

@@ -1,0 +1,175 @@
+package hydra
+
+// Benchmarks regenerating the paper's exhibits (see DESIGN.md §4 and
+// EXPERIMENTS.md). Each benchmark wraps the corresponding experiment
+// harness in internal/experiments and prints the same rows/series the paper
+// reports; run with
+//
+//	go test -bench=. -benchmem
+//
+// or use "go run ./cmd/hydra bench" for the full-size tables.
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchConfig keeps the benchmark workload moderate so -bench=. completes
+// quickly; cmd/hydra bench runs the paper-sized configuration.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 7, ScaleFactor: 0.5, Queries: 60}
+}
+
+// out returns the experiment output sink: stdout on -v runs of a single
+// benchmark, discarded otherwise to keep -bench=. output readable.
+func out() io.Writer {
+	if os.Getenv("HYDRA_BENCH_VERBOSE") != "" {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// BenchmarkE1Example regenerates Figure 1: the toy schema's annotated query
+// plan.
+func BenchmarkE1Example(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.E1Example(out(), 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2RegionVsGrid regenerates the LP-complexity comparison (region
+// vs grid partitioning variable counts).
+func BenchmarkE2RegionVsGrid(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.E2RegionVsGrid(out(), cfg, []int{10, 30, 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3SummaryConstruction regenerates the data-scale-free
+// construction table (build time and size vs client scale).
+func BenchmarkE3SummaryConstruction(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.E3DataScaleFree(out(), cfg, []float64{0.25, 0.5, 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Accuracy regenerates the volumetric-accuracy CDF (Figure 4
+// bottom-left).
+func BenchmarkE4Accuracy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4Accuracy(out(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5ErrorVsScale regenerates the shrinking-relative-error series.
+func BenchmarkE5ErrorVsScale(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.E5ErrorVsScale(out(), cfg, []float64{1, 10, 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6Velocity regenerates the velocity-control table (requested vs
+// achieved rows/sec).
+func BenchmarkE6Velocity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.E6Velocity(out(), cfg, []float64{0, 10000}, 200000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7DatagenScan regenerates the dataless-execution demonstration
+// (Table 1 sample plus dataless == materialized answers).
+func BenchmarkE7DatagenScan(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.E7Datagen(out(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8Scenario regenerates the what-if scenario table (feasibility
+// and constant-time construction across scale factors).
+func BenchmarkE8Scenario(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.E8Scenario(out(), cfg, []float64{10, 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Referential regenerates the referential post-processing table
+// (clamped tuples under dimension shrink).
+func BenchmarkE9Referential(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.E9Referential(out(), cfg, []float64{1, 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateRows measures raw tuple-generation throughput (the
+// velocity ceiling of dynamic regeneration).
+func BenchmarkGenerateRows(b *testing.B) {
+	cfg := benchConfig()
+	pkg, sum := mustBuild(b, cfg)
+	_ = pkg
+	b.ResetTimer()
+	stream := Stream(sum, "store_sales")
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := stream.Next(); !ok {
+			stream = Stream(sum, "store_sales")
+			continue
+		}
+		n++
+	}
+	_ = n
+}
+
+// BenchmarkDatalessQuery measures end-to-end dataless query execution.
+func BenchmarkDatalessQuery(b *testing.B) {
+	cfg := benchConfig()
+	pkg, sum := mustBuild(b, cfg)
+	db := Regen(sum, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Verify(db, pkg.Workload[:1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep
+	}
+}
+
+// BenchmarkE10Ablation regenerates the design-choice ablation (inhabitation
+// propagation on/off).
+func BenchmarkE10Ablation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.E10Ablation(out(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/summary"
+)
+
+func writePackage(path string, pkg *core.TransferPackage) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return pkg.Encode(f)
+}
+
+func readPackage(path string) (*core.TransferPackage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.DecodePackage(f)
+}
+
+func readSummary(path string) (*summary.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sum, err := summary.DecodeJSON(f)
+	if err != nil {
+		return nil, err
+	}
+	if sum.Schema == nil {
+		return nil, fmt.Errorf("summary %s has no schema", path)
+	}
+	if err := sum.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sum.Validate(); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCLIRoundTrip drives the client → vendor → verify → scenario → stats
+// flow through the command implementations, exercising the JSON artifact
+// I/O end to end.
+func TestCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pkgPath := filepath.Join(dir, "pkg.json")
+	sumPath := filepath.Join(dir, "summary.json")
+	csvPath := filepath.Join(dir, "item.csv")
+
+	if err := cmdClient([]string{"-scenario", "toy", "-out", pkgPath}); err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if _, err := os.Stat(pkgPath); err != nil {
+		t.Fatalf("package not written: %v", err)
+	}
+	if err := cmdVendor([]string{"-in", pkgPath, "-out", sumPath, "-grid"}); err != nil {
+		t.Fatalf("vendor: %v", err)
+	}
+	if err := cmdVerify([]string{"-in", pkgPath, "-summary", sumPath}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := cmdGenerate([]string{"-summary", sumPath, "-table", "s", "-limit", "5"}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := cmdGenerate([]string{"-summary", sumPath, "-table", "t", "-csv", csvPath}); err != nil {
+		t.Fatalf("generate csv: %v", err)
+	}
+	if fi, err := os.Stat(csvPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("csv not materialized: %v", err)
+	}
+	if err := cmdScenario([]string{"-in", pkgPath, "-factor", "10"}); err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if err := cmdStats([]string{"-in", pkgPath, "-table", "s", "-column", "a"}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestCLIAnonymizedClient(t *testing.T) {
+	dir := t.TempDir()
+	pkgPath := filepath.Join(dir, "pkg.json")
+	mapPath := filepath.Join(dir, "mapping.json")
+	err := cmdClient([]string{"-scenario", "tpcds", "-sf", "0.1", "-queries", "15",
+		"-out", pkgPath, "-anonymize", "-mapping", mapPath})
+	if err != nil {
+		t.Fatalf("anonymized client: %v", err)
+	}
+	if _, err := os.Stat(mapPath); err != nil {
+		t.Fatalf("mapping not written: %v", err)
+	}
+	sumPath := filepath.Join(dir, "summary.json")
+	if err := cmdVendor([]string{"-in", pkgPath, "-out", sumPath}); err != nil {
+		t.Fatalf("vendor on anonymized package: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := cmdClient([]string{"-scenario", "nope", "-out", filepath.Join(t.TempDir(), "x.json")}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := cmdVendor([]string{"-in", "/nonexistent.json"}); err == nil {
+		t.Error("missing package accepted")
+	}
+	if err := cmdGenerate([]string{"-summary", "/nonexistent.json", "-table", "x"}); err == nil {
+		t.Error("missing summary accepted")
+	}
+	if err := cmdGenerate([]string{}); err == nil {
+		t.Error("missing -table accepted")
+	}
+	if err := cmdStats([]string{"-in", "/nonexistent.json", "-table", "a", "-column", "b"}); err == nil {
+		t.Error("missing package accepted by stats")
+	}
+}

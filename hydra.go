@@ -1,0 +1,132 @@
+// Package hydra is the public API of this reproduction of
+// "HYDRA: A Dynamic Big Data Regenerator" (Sanghi et al., PVLDB 11(12),
+// 2018). It re-exports the pipeline's building blocks and wires them into
+// the three flows of the paper's demonstration:
+//
+//	Capture      — client site: execute the workload, annotate plans,
+//	               assemble the transfer package (optionally anonymized).
+//	Build        — vendor site: preprocess AQPs, region-partition each
+//	               relation, solve the per-relation LPs, and align the
+//	               solution into a minuscule database summary.
+//	Regen/Verify — runtime: execute queries against dataless tables whose
+//	               scans stream from the summary at a regulated velocity,
+//	               and measure volumetric similarity.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation exhibits.
+package hydra
+
+import (
+	"repro/internal/anonymize"
+	"repro/internal/aqp"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/generator"
+	"repro/internal/scenario"
+	"repro/internal/schema"
+	"repro/internal/summary"
+	"repro/internal/verify"
+)
+
+// Re-exported types. The concrete implementations live in internal
+// packages; these aliases are the supported surface.
+type (
+	// Schema describes tables, columns, and the foreign-key graph.
+	Schema = schema.Schema
+	// Table is one relation's schema.
+	Table = schema.Table
+	// Column is one attribute with its coded domain.
+	Column = schema.Column
+
+	// Database is the in-memory engine database (stored or dataless).
+	Database = engine.Database
+	// Relation is a stored table.
+	Relation = engine.Relation
+	// RowSource yields coded rows one at a time.
+	RowSource = engine.RowSource
+
+	// AQP is a query with its cardinality-annotated plan.
+	AQP = aqp.AQP
+	// PlanNode is one annotated operator.
+	PlanNode = aqp.Node
+
+	// TransferPackage is the client→vendor information synopsis.
+	TransferPackage = core.TransferPackage
+	// CaptureOptions tunes client-site capture.
+	CaptureOptions = core.CaptureOptions
+
+	// Summary is the memory-resident database summary.
+	Summary = summary.Database
+	// BuildOptions tunes vendor-side summary construction.
+	BuildOptions = summary.BuildOptions
+	// BuildReport details per-relation LP complexity and accuracy.
+	BuildReport = summary.BuildReport
+
+	// Report is a volumetric-similarity verification report.
+	Report = verify.Report
+
+	// Scenario describes a what-if environment (§4.4).
+	Scenario = scenario.Scenario
+	// Feasibility is the outcome of building a what-if scenario.
+	Feasibility = scenario.Feasibility
+
+	// Mapping is the private anonymization mapping kept at the client.
+	Mapping = anonymize.Mapping
+)
+
+// DefaultBuildOptions returns the options used by the demo flows.
+func DefaultBuildOptions() BuildOptions { return summary.DefaultBuildOptions() }
+
+// Capture executes the workload on the client database and assembles the
+// transfer package (schema, statistics, AQPs) — §4.1 of the paper.
+func Capture(db *Database, queries []string, opts CaptureOptions) (*TransferPackage, error) {
+	return core.CaptureClient(db, queries, opts)
+}
+
+// Anonymize passes the package through the client-side anonymization layer:
+// string dictionaries become opaque order-preserving tokens and workload
+// literals are rewritten equivalently. The returned mapping stays with the
+// client.
+func Anonymize(pkg *TransferPackage) (*TransferPackage, *Mapping, error) {
+	return anonymize.Anonymize(pkg)
+}
+
+// Build runs the vendor-site pipeline on a transfer package and returns the
+// database summary with a construction report — §4.2.
+func Build(pkg *TransferPackage, opts BuildOptions) (*Summary, *BuildReport, error) {
+	return core.BuildFromPackage(pkg, opts)
+}
+
+// Regen returns a dataless database over the summary: every scan streams
+// tuples from the generator, throttled to rowsPerSec when positive — the
+// dynamic regeneration of §4.3.
+func Regen(sum *Summary, rowsPerSec float64) *Database {
+	return core.RegenDatabase(sum, rowsPerSec)
+}
+
+// Materialize expands the summary into stored rows (the demo's optional
+// materialize mode).
+func Materialize(sum *Summary) (*Database, error) {
+	return core.MaterializedDatabase(sum)
+}
+
+// Verify re-executes the workload against db and compares every operator
+// cardinality with its annotation — the generation-quality panel of §4.2.
+func Verify(db *Database, workload []*AQP) (*Report, error) {
+	return verify.Verify(db, workload)
+}
+
+// Stream opens a raw tuple-generation stream for one table of the summary,
+// for callers that want rows rather than query execution.
+func Stream(sum *Summary, table string) *generator.Stream {
+	return generator.NewStream(sum.Schema.Table(table), sum.Relations[table])
+}
+
+// Pace throttles a row source to rowsPerSec (the demo's velocity slider);
+// a non-positive rate returns the source unchanged.
+func Pace(src RowSource, rowsPerSec float64) RowSource {
+	if rowsPerSec <= 0 {
+		return src
+	}
+	return generator.NewPaced(src, rowsPerSec)
+}

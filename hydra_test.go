@@ -1,0 +1,45 @@
+package hydra
+
+import (
+	"testing"
+
+	"repro/internal/toy"
+)
+
+// TestEndToEndToy runs the full pipeline of the paper's Figure 1 scenario:
+// capture at the client, build the summary at the vendor, regenerate
+// datalessly, and verify volumetric similarity.
+func TestEndToEndToy(t *testing.T) {
+	db, err := toy.Database(42)
+	if err != nil {
+		t.Fatalf("toy database: %v", err)
+	}
+	pkg, err := Capture(db, toy.Workload(), CaptureOptions{})
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	sum, rep, err := Build(pkg, DefaultBuildOptions())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatalf("summary invalid: %v", err)
+	}
+	for _, rr := range rep.Relations {
+		if rr.SumAbsResidual != 0 {
+			t.Errorf("relation %s: residuals %v", rr.Table, rr.Residuals)
+		}
+	}
+
+	regen := Regen(sum, 0)
+	vrep, err := Verify(regen, pkg.Workload)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if got := vrep.SatisfiedWithin(0); got < 1 {
+		for _, e := range vrep.WorstEdges(10) {
+			t.Logf("edge %s: expected %d actual %d (rel %.4f)", e.Path, e.Expected, e.Actual, e.RelErr)
+		}
+		t.Errorf("exact satisfaction = %.3f, want 1.0 on the toy workload", got)
+	}
+}

@@ -1,0 +1,50 @@
+package hydra
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tpcds"
+)
+
+// TestFull131 runs the paper's headline scenario end to end: a 131-query
+// TPC-DS-like workload at scale factor 1, summary construction, dataless
+// regeneration, and volumetric verification. The paper's claims it checks:
+// construction well under 2 minutes, a summary of a few tens of KB, >90%%
+// of constraints exact and the rest within 10%% relative error.
+func TestFull131(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale integration test")
+	}
+	s := tpcds.Schema(1.0)
+	db, err := tpcds.GenerateDatabase(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := Capture(db, tpcds.Workload(131, 11), CaptureOptions{SkipStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, rep, err := Build(pkg, DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("build %v bytes=%d vars=%d", rep.TotalTime, rep.SummaryBytes, rep.TotalLPVars())
+	for _, rr := range rep.Relations {
+		t.Logf("rel %s: cons=%d vars=%d pivots=%d sumres=%d part=%v solve=%v rows=%d", rr.Table, rr.Constraints, rr.LPVars, rr.Pivots, rr.SumAbsResidual, rr.PartitionTime, rr.SolveTime, rr.SummaryRows)
+	}
+	vrep, err := Verify(Regen(sum, 0), pkg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("exact=%.3f within1%%=%.3f within10%%=%.3f mean=%.5f", vrep.SatisfiedWithin(0), vrep.SatisfiedWithin(0.01), vrep.SatisfiedWithin(0.1), vrep.MeanRelErr())
+	if got := vrep.SatisfiedWithin(0); got < 0.9 {
+		t.Errorf("exact satisfaction %.3f, want >= 0.9", got)
+	}
+	if got := vrep.SatisfiedWithin(0.1); got < 0.99 {
+		t.Errorf("within-10%% satisfaction %.3f, want >= 0.99", got)
+	}
+	if rep.TotalTime > 2*time.Minute {
+		t.Errorf("construction took %v, want < 2m", rep.TotalTime)
+	}
+}

@@ -1,0 +1,239 @@
+// Package anonymize is the client-side anonymization layer the paper's
+// architecture allows between capture and transfer: string dictionaries are
+// replaced by opaque, order-preserving tokens, and every string literal in
+// the workload is rewritten so predicate semantics over the coded domains
+// are preserved exactly. Integer codes (dictionary ranks, histograms, AQP
+// cardinalities) are untouched — they carry no raw values.
+//
+// Numeric domains are shipped as-is: Hydra's coded domains already strip
+// formatting, and range endpoints are usually workload parameters rather
+// than secrets. Deployments needing numeric masking can pre-shift domains
+// in the schema before capture.
+package anonymize
+
+import (
+	"fmt"
+
+	"repro/internal/aqp"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlkit"
+	"repro/internal/value"
+)
+
+// belowAllTokens sorts before every generated token; it is substituted for
+// equality tests against strings absent from the dictionary (an always-false
+// predicate either way).
+const belowAllTokens = "!none"
+
+// Mapping records the original dictionaries so the client can interpret
+// vendor-side findings. It never leaves the client site.
+type Mapping struct {
+	// Dicts maps "table.column" to the original dictionary; index i is
+	// the original of token i.
+	Dicts map[string][]string `json:"dicts"`
+}
+
+// Token returns the anonymized token for dictionary rank i. Tokens are
+// zero-padded so lexicographic order equals rank order.
+func Token(i int) string { return fmt.Sprintf("s%08d", i) }
+
+// Anonymize returns a new transfer package with anonymized string
+// dictionaries and rewritten workload SQL, plus the private mapping.
+func Anonymize(pkg *core.TransferPackage) (*core.TransferPackage, *Mapping, error) {
+	out := &core.TransferPackage{Schema: pkg.Schema.Clone(), Stats: pkg.Stats}
+	m := &Mapping{Dicts: make(map[string][]string)}
+	orig := make(map[string]*schema.Column) // table.column -> original column
+	for _, t := range pkg.Schema.Tables {
+		for _, c := range t.Columns {
+			if c.Type == schema.String {
+				orig[t.Name+"."+c.Name] = c
+			}
+		}
+	}
+	for _, t := range out.Schema.Tables {
+		for _, c := range t.Columns {
+			if c.Type != schema.String {
+				continue
+			}
+			m.Dicts[t.Name+"."+c.Name] = append([]string(nil), c.Dict...)
+			for i := range c.Dict {
+				c.Dict[i] = Token(i)
+			}
+		}
+	}
+	for qi, a := range pkg.Workload {
+		rewritten, err := rewriteQuery(pkg.Schema, a.SQL)
+		if err != nil {
+			return nil, nil, fmt.Errorf("anonymize: query %d: %w", qi, err)
+		}
+		plan := a.Plan.Clone()
+		if err := refreshPredDisplay(out.Schema, rewritten, plan); err != nil {
+			return nil, nil, fmt.Errorf("anonymize: query %d: %w", qi, err)
+		}
+		out.Workload = append(out.Workload, &aqp.AQP{SQL: rewritten, Plan: plan})
+	}
+	return out, m, nil
+}
+
+// rewriteQuery replaces string literals with tokens while preserving the
+// selected code sets. Non-member literals need operator adjustments because
+// the substituted token is a dictionary member: e.g. "x <= s" with s absent
+// selects codes [0, rank), which as a member comparison is "x < token(rank)".
+func rewriteQuery(s *schema.Schema, sql string) (string, error) {
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	for pi, p := range q.Preds {
+		np, err := rewritePred(s, q, p)
+		if err != nil {
+			return "", err
+		}
+		q.Preds[pi] = np
+	}
+	return q.SQL(), nil
+}
+
+func rewritePred(s *schema.Schema, q *sqlkit.Query, p sqlkit.Predicate) (sqlkit.Predicate, error) {
+	switch p := p.(type) {
+	case *sqlkit.ComparePred:
+		col, err := resolveStringColumn(s, q, p.Col, p.Val)
+		if err != nil || col == nil {
+			return p, err
+		}
+		op, tok := mapLiteral(col, p.Op, p.Val.Str())
+		return &sqlkit.ComparePred{Col: p.Col, Op: op, Val: value.NewString(tok)}, nil
+	case *sqlkit.BetweenPred:
+		col, err := resolveStringColumn(s, q, p.Col, p.Lo)
+		if err != nil || col == nil {
+			return p, err
+		}
+		// BETWEEN lo AND hi ≡ >= lo AND <= hi; rewrite both ends and
+		// keep BETWEEN only when both stay inclusive.
+		loOp, loTok := mapLiteral(col, sqlkit.OpGE, p.Lo.Str())
+		hiOp, hiTok := mapLiteral(col, sqlkit.OpLE, p.Hi.Str())
+		if loOp == sqlkit.OpGE && hiOp == sqlkit.OpLE {
+			return &sqlkit.BetweenPred{Col: p.Col, Lo: value.NewString(loTok), Hi: value.NewString(hiTok)}, nil
+		}
+		return nil, fmt.Errorf("between bounds of %s not in dictionary; rewrite as explicit range", p.Col)
+	case *sqlkit.InPred:
+		if len(p.Vals) == 0 || p.Vals[0].Kind() != value.KindString {
+			return p, nil
+		}
+		col, err := resolveStringColumn(s, q, p.Col, p.Vals[0])
+		if err != nil || col == nil {
+			return p, err
+		}
+		var vals []value.Value
+		for _, v := range p.Vals {
+			rank := col.EncodeRank(v.Str())
+			if member(col, v.Str()) {
+				vals = append(vals, value.NewString(Token(int(rank))))
+			}
+			// Absent members select nothing; drop them.
+		}
+		if len(vals) == 0 {
+			vals = []value.Value{value.NewString(belowAllTokens)}
+		}
+		return &sqlkit.InPred{Col: p.Col, Vals: vals}, nil
+	default:
+		return p, nil
+	}
+}
+
+// resolveStringColumn returns the original schema column a string-literal
+// predicate binds to, or nil when the predicate is not over a string column.
+func resolveStringColumn(s *schema.Schema, q *sqlkit.Query, ref sqlkit.ColumnRef, lit value.Value) (*schema.Column, error) {
+	if lit.Kind() != value.KindString {
+		return nil, nil
+	}
+	if ref.Table != "" {
+		t := s.Table(ref.Table)
+		if t == nil {
+			return nil, fmt.Errorf("unknown table %s", ref.Table)
+		}
+		return t.Column(ref.Column), nil
+	}
+	for _, name := range q.Tables {
+		t := s.Table(name)
+		if t == nil {
+			continue
+		}
+		if c := t.Column(ref.Column); c != nil {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown column %s", ref.Column)
+}
+
+func member(c *schema.Column, s string) bool {
+	r := c.EncodeRank(s)
+	return r < int64(len(c.Dict)) && c.Dict[r] == s
+}
+
+// mapLiteral maps (op, literal) on the original dictionary to an equivalent
+// (op, token) over the anonymized dictionary.
+func mapLiteral(c *schema.Column, op sqlkit.CompareOp, s string) (sqlkit.CompareOp, string) {
+	rank := int(c.EncodeRank(s))
+	if member(c, s) {
+		return op, Token(rank)
+	}
+	// s is strictly between ranks rank-1 and rank.
+	switch op {
+	case sqlkit.OpEQ:
+		return sqlkit.OpEQ, belowAllTokens // empty
+	case sqlkit.OpNE:
+		return sqlkit.OpNE, belowAllTokens // full
+	case sqlkit.OpLT, sqlkit.OpLE:
+		if rank >= len(c.Dict) {
+			return sqlkit.OpNE, belowAllTokens // full
+		}
+		return sqlkit.OpLT, Token(rank)
+	default: // OpGT, OpGE
+		if rank >= len(c.Dict) {
+			return sqlkit.OpEQ, belowAllTokens // empty
+		}
+		return sqlkit.OpGE, Token(rank)
+	}
+}
+
+// refreshPredDisplay regenerates the display strings (predicates, join
+// conditions) inside an AQP from the rewritten SQL, so no original literal
+// leaks through the plan rendering.
+func refreshPredDisplay(s *schema.Schema, sql string, plan *aqp.Node) error {
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		return err
+	}
+	p, err := engine.BuildPlan(s, q)
+	if err != nil {
+		return err
+	}
+	var walk func(pn *engine.PlanNode, an *aqp.Node) error
+	walk = func(pn *engine.PlanNode, an *aqp.Node) error {
+		if (pn == nil) != (an == nil) {
+			return fmt.Errorf("plan/AQP shape mismatch")
+		}
+		if pn == nil {
+			return nil
+		}
+		if len(pn.Children) != len(an.Children) {
+			return fmt.Errorf("plan/AQP shape mismatch")
+		}
+		switch pn.Op {
+		case engine.OpFilter:
+			an.Pred = pn.Pred.SQL(s.Table(pn.Pred.Table))
+		case engine.OpHashJoin:
+			an.Join = pn.JoinSQL
+		}
+		for i := range pn.Children {
+			if err := walk(pn.Children[i], an.Children[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(p.Root, plan)
+}

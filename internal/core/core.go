@@ -1,0 +1,180 @@
+// Package core orchestrates Hydra's end-to-end flow, mirroring the
+// architecture of Figure 2 in the paper:
+//
+//	client site:  CaptureClient  — schema + metadata + workload AQPs
+//	   transfer:  TransferPackage (JSON; optionally anonymized)
+//	vendor site:  BuildFromPackage — preprocess → region-partition LPs →
+//	              solve → deterministic alignment → database summary
+//	    runtime:  RegenDatabase / MaterializedDatabase — dataless or
+//	              materialized execution over the summary
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/aqp"
+	"repro/internal/engine"
+	"repro/internal/generator"
+	"repro/internal/preprocess"
+	"repro/internal/schema"
+	"repro/internal/sqlkit"
+	"repro/internal/stats"
+	"repro/internal/summary"
+)
+
+// TransferPackage is the information synopsis shipped from client to
+// vendor: no data rows, only schema, statistics, and annotated plans.
+type TransferPackage struct {
+	Schema   *schema.Schema      `json:"schema"`
+	Stats    []*stats.TableStats `json:"stats,omitempty"`
+	Workload []*aqp.AQP          `json:"workload"`
+}
+
+// Encode writes the package as JSON.
+func (p *TransferPackage) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// DecodePackage reads a JSON transfer package.
+func DecodePackage(r io.Reader) (*TransferPackage, error) {
+	var p TransferPackage
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decoding transfer package: %w", err)
+	}
+	if p.Schema == nil {
+		return nil, fmt.Errorf("core: transfer package has no schema")
+	}
+	if err := p.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// CaptureOptions tune client-site capture.
+type CaptureOptions struct {
+	// HistogramBuckets and MCVSize control the metadata statistics
+	// (defaults 20 and 10).
+	HistogramBuckets int
+	MCVSize          int
+	// SkipStats omits column statistics (they are informational; summary
+	// construction uses only the AQPs).
+	SkipStats bool
+}
+
+// CaptureClient executes the query workload on the client database,
+// annotates each plan with observed cardinalities, gathers column
+// statistics, and assembles the transfer package.
+func CaptureClient(db *engine.Database, queries []string, opts CaptureOptions) (*TransferPackage, error) {
+	if opts.HistogramBuckets <= 0 {
+		opts.HistogramBuckets = 20
+	}
+	if opts.MCVSize <= 0 {
+		opts.MCVSize = 10
+	}
+	pkg := &TransferPackage{Schema: db.Schema.Clone()}
+
+	// Refresh row counts from the stored relations so the shipped schema
+	// reflects the actual client data.
+	for _, t := range pkg.Schema.Tables {
+		if rel := db.Relation(t.Name); rel != nil {
+			t.RowCount = int64(len(rel.Rows))
+		}
+	}
+
+	for qi, sql := range queries {
+		q, err := sqlkit.Parse(sql)
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", qi, err)
+		}
+		plan, err := engine.BuildPlan(db.Schema, q)
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", qi, err)
+		}
+		res, err := engine.Execute(db, plan, engine.ExecOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", qi, err)
+		}
+		pkg.Workload = append(pkg.Workload, &aqp.AQP{SQL: sql, Plan: aqp.FromExec(res.Root)})
+	}
+
+	if !opts.SkipStats {
+		for _, t := range pkg.Schema.Tables {
+			rel := db.Relation(t.Name)
+			if rel == nil {
+				continue
+			}
+			ts := &stats.TableStats{Table: t.Name, RowCount: int64(len(rel.Rows))}
+			for ci, col := range t.Columns {
+				if col.PrimaryKey {
+					continue
+				}
+				codes := make([]int64, len(rel.Rows))
+				for ri, row := range rel.Rows {
+					codes[ri] = row[ci]
+				}
+				ts.Columns = append(ts.Columns, stats.BuildColumnStats(col.Name, codes, opts.HistogramBuckets, opts.MCVSize))
+			}
+			pkg.Stats = append(pkg.Stats, ts)
+		}
+	}
+	return pkg, nil
+}
+
+// BuildFromPackage runs the vendor-side pipeline: preprocessing, region
+// partitioning, LP solving, and deterministic alignment.
+func BuildFromPackage(pkg *TransferPackage, opts summary.BuildOptions) (*summary.Database, *summary.BuildReport, error) {
+	w, err := preprocess.Extract(pkg.Schema, pkg.Workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	return summary.Build(pkg.Schema, w, opts)
+}
+
+// RegenDatabase returns a dataless database: every table's scan is served
+// by the tuple generator straight from the summary (the paper's datagen
+// relation property). rowsPerSec throttles generation per scan; zero means
+// unlimited.
+func RegenDatabase(sum *summary.Database, rowsPerSec float64) *engine.Database {
+	db := engine.NewDatabase(sum.Schema)
+	for name := range sum.Relations {
+		rel := sum.Relations[name]
+		t := sum.Schema.Table(name)
+		db.SetDatagen(name, func() (engine.RowSource, error) {
+			stream := generator.NewStream(t, rel)
+			if rowsPerSec > 0 {
+				return generator.NewPaced(stream, rowsPerSec), nil
+			}
+			return stream, nil
+		})
+	}
+	return db
+}
+
+// MaterializedDatabase expands the summary into stored rows — the demo's
+// optional materialize mode, and the reference point dynamic regeneration
+// is compared against.
+func MaterializedDatabase(sum *summary.Database) (*engine.Database, error) {
+	db := engine.NewDatabase(sum.Schema)
+	for name, relSum := range sum.Relations {
+		t := sum.Schema.Table(name)
+		rel := &engine.Relation{Table: t}
+		stream := generator.NewStream(t, relSum)
+		for {
+			row, ok := stream.Next()
+			if !ok {
+				break
+			}
+			if err := rel.Append(append([]int64(nil), row...)); err != nil {
+				return nil, err
+			}
+		}
+		if err := db.AddRelation(rel); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

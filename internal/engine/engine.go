@@ -1,0 +1,113 @@
+// Package engine is Hydra's in-memory relational engine substrate. It plays
+// the role PostgreSQL v9.3 plays in the paper: it executes the SPJ workload
+// at the client site to produce annotated query plans, re-executes it at the
+// vendor site for verification, and supports replacing a table's scan with a
+// dynamic-regeneration source (the paper's "datagen" relation property) so
+// queries run against tables holding zero stored rows.
+//
+// Rows are slices of integer codes (see package schema for the coding); all
+// operators are pipelined iterators except the hash-join build side.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// RowSource yields coded rows one at a time. Next returns ok=false when the
+// source is exhausted.
+type RowSource interface {
+	Next() (row []int64, ok bool)
+}
+
+// DatagenFunc opens a fresh dynamic-regeneration stream for a table. It is
+// invoked once per scan of the table.
+type DatagenFunc func() (RowSource, error)
+
+// Relation is a stored table: the schema plus materialized coded rows.
+type Relation struct {
+	Table *schema.Table
+	Rows  [][]int64
+}
+
+// Append adds a row after checking arity.
+func (r *Relation) Append(row []int64) error {
+	if len(row) != len(r.Table.Columns) {
+		return fmt.Errorf("engine: relation %s: row arity %d, want %d", r.Table.Name, len(row), len(r.Table.Columns))
+	}
+	r.Rows = append(r.Rows, row)
+	return nil
+}
+
+// Database holds stored relations and per-table datagen overrides.
+type Database struct {
+	Schema  *schema.Schema
+	rels    map[string]*Relation
+	datagen map[string]DatagenFunc
+}
+
+// NewDatabase creates an empty database over the schema.
+func NewDatabase(s *schema.Schema) *Database {
+	return &Database{
+		Schema:  s,
+		rels:    make(map[string]*Relation),
+		datagen: make(map[string]DatagenFunc),
+	}
+}
+
+// AddRelation registers a stored relation for a schema table.
+func (db *Database) AddRelation(rel *Relation) error {
+	if db.Schema.Table(rel.Table.Name) == nil {
+		return fmt.Errorf("engine: table %s not in schema", rel.Table.Name)
+	}
+	db.rels[rel.Table.Name] = rel
+	return nil
+}
+
+// Relation returns the stored relation for a table, or nil.
+func (db *Database) Relation(name string) *Relation { return db.rels[name] }
+
+// SetDatagen enables the dataless "datagen" property for a table: scans of
+// the table stream rows from fn instead of stored data. Passing nil disables
+// it.
+func (db *Database) SetDatagen(table string, fn DatagenFunc) {
+	if fn == nil {
+		delete(db.datagen, table)
+		return
+	}
+	db.datagen[table] = fn
+}
+
+// DatagenEnabled reports whether the table scans via dynamic regeneration.
+func (db *Database) DatagenEnabled(table string) bool {
+	_, ok := db.datagen[table]
+	return ok
+}
+
+// openScan returns a row source for the table: the datagen stream when
+// enabled, otherwise a cursor over stored rows.
+func (db *Database) openScan(table string) (RowSource, error) {
+	if fn, ok := db.datagen[table]; ok {
+		return fn()
+	}
+	rel := db.rels[table]
+	if rel == nil {
+		return nil, fmt.Errorf("engine: table %s has neither stored rows nor datagen", table)
+	}
+	return &sliceSource{rows: rel.Rows}, nil
+}
+
+type sliceSource struct {
+	rows [][]int64
+	i    int
+}
+
+func (s *sliceSource) Next() ([]int64, bool) {
+	if s.i >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, true
+}

@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/pred"
+	"repro/internal/schema"
+	"repro/internal/sqlkit"
+)
+
+// OpKind identifies a plan operator.
+type OpKind uint8
+
+// Plan operator kinds.
+const (
+	OpScan OpKind = iota
+	OpFilter
+	OpHashJoin
+	OpAggregate // COUNT(*)
+)
+
+// String names the operator as it appears in AQPs.
+func (k OpKind) String() string {
+	switch k {
+	case OpScan:
+		return "SCAN"
+	case OpFilter:
+		return "FILTER"
+	case OpHashJoin:
+		return "HASH JOIN"
+	case OpAggregate:
+		return "AGGREGATE"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// ColRef locates an output column: which table it came from and the column's
+// index within that table.
+type ColRef struct {
+	Table string
+	Col   int
+}
+
+// PlanNode is one operator in a physical plan tree.
+type PlanNode struct {
+	Op    OpKind
+	Table string       // OpScan
+	Pred  *pred.Region // OpFilter: compiled predicate
+	// OpHashJoin: positions (in the respective child's output row) of the
+	// equi-join columns. Left is the probe (pipelined) side, Right the
+	// build side.
+	LeftKey, RightKey int
+	JoinSQL           string // display form, e.g. "r.s_fk = s.s_pk"
+
+	Children []*PlanNode
+	Cols     []ColRef // output column layout
+}
+
+// Plan is a compiled physical plan for one query.
+type Plan struct {
+	Query *sqlkit.Query
+	Root  *PlanNode
+}
+
+// BuildPlan compiles a parsed query into the canonical plan Hydra uses at
+// both client and vendor sites: each table is scanned and filtered, then
+// tables are joined left-deep in FROM-clause order (each joined table must
+// connect to the already-joined set through an equi-join predicate, the
+// star/snowflake pattern). COUNT(*) queries get a final aggregate. Because
+// the construction is deterministic, client and vendor always agree on the
+// plan — the role CODD's metadata transfer plays in the paper.
+func BuildPlan(s *schema.Schema, q *sqlkit.Query) (*Plan, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("engine: query has no tables")
+	}
+	tables := make(map[string]*schema.Table, len(q.Tables))
+	for _, name := range q.Tables {
+		t := s.Table(name)
+		if t == nil {
+			return nil, fmt.Errorf("engine: unknown table %s", name)
+		}
+		if tables[name] != nil {
+			return nil, fmt.Errorf("engine: table %s listed twice (self-joins unsupported)", name)
+		}
+		tables[name] = t
+	}
+
+	// Leaf for each table: scan + (optional) filter.
+	leaves := make(map[string]*PlanNode, len(q.Tables))
+	for name, t := range tables {
+		node := &PlanNode{Op: OpScan, Table: name, Cols: tableCols(t)}
+		region, err := pred.Compile(t, q.FilterPreds())
+		if err != nil {
+			return nil, err
+		}
+		if !region.Unconstrained() {
+			node = &PlanNode{Op: OpFilter, Pred: region, Children: []*PlanNode{node}, Cols: node.Cols}
+		}
+		leaves[name] = node
+	}
+
+	// Validate every filter predicate resolved to exactly one table.
+	if err := checkPredsResolve(tables, q); err != nil {
+		return nil, err
+	}
+
+	joins := q.JoinPreds()
+	cur := leaves[q.Tables[0]]
+	joined := map[string]bool{q.Tables[0]: true}
+	remaining := append([]string(nil), q.Tables[1:]...)
+	used := make([]bool, len(joins))
+
+	for len(remaining) > 0 {
+		progress := false
+		for ri := 0; ri < len(remaining); ri++ {
+			name := remaining[ri]
+			jp, ji, leftKey, rightKey, err := findJoin(joins, used, cur.Cols, leaves[name].Cols, tables, joined, name)
+			if err != nil {
+				return nil, err
+			}
+			if jp == nil {
+				continue
+			}
+			used[ji] = true
+			build := leaves[name]
+			node := &PlanNode{
+				Op:       OpHashJoin,
+				LeftKey:  leftKey,
+				RightKey: rightKey,
+				JoinSQL:  jp.SQL(),
+				Children: []*PlanNode{cur, build},
+				Cols:     append(append([]ColRef(nil), cur.Cols...), build.Cols...),
+			}
+			cur = node
+			joined[name] = true
+			remaining = append(remaining[:ri], remaining[ri+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("engine: tables %v are not connected by join predicates", remaining)
+		}
+	}
+
+	// Any join predicate not consumed means a non-tree join graph.
+	for i, jp := range joins {
+		if !used[i] {
+			return nil, fmt.Errorf("engine: unused join predicate %s (cyclic join graph unsupported)", jp.SQL())
+		}
+	}
+
+	if q.CountStar {
+		cur = &PlanNode{Op: OpAggregate, Children: []*PlanNode{cur}, Cols: nil}
+	}
+	return &Plan{Query: q, Root: cur}, nil
+}
+
+func tableCols(t *schema.Table) []ColRef {
+	cols := make([]ColRef, len(t.Columns))
+	for i := range t.Columns {
+		cols[i] = ColRef{Table: t.Name, Col: i}
+	}
+	return cols
+}
+
+// findJoin looks for an unused join predicate connecting the joined set to
+// candidate table name and resolves key positions.
+func findJoin(joins []*sqlkit.JoinPred, used []bool, leftCols, rightCols []ColRef, tables map[string]*schema.Table, joined map[string]bool, name string) (*sqlkit.JoinPred, int, int, int, error) {
+	for i, jp := range joins {
+		if used[i] {
+			continue
+		}
+		lt, lc, err := resolveJoinSide(tables, jp.Left)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		rt, rc, err := resolveJoinSide(tables, jp.Right)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		var joinedSide, newSide string
+		var joinedCol, newCol int
+		switch {
+		case joined[lt] && rt == name:
+			joinedSide, joinedCol, newSide, newCol = lt, lc, rt, rc
+		case joined[rt] && lt == name:
+			joinedSide, joinedCol, newSide, newCol = rt, rc, lt, lc
+		default:
+			continue
+		}
+		leftKey := findCol(leftCols, joinedSide, joinedCol)
+		rightKey := findCol(rightCols, newSide, newCol)
+		if leftKey < 0 || rightKey < 0 {
+			return nil, 0, 0, 0, fmt.Errorf("engine: internal: join key not found for %s", jp.SQL())
+		}
+		return jp, i, leftKey, rightKey, nil
+	}
+	return nil, 0, 0, 0, nil
+}
+
+func resolveJoinSide(tables map[string]*schema.Table, ref sqlkit.ColumnRef) (table string, col int, err error) {
+	if ref.Table != "" {
+		t := tables[ref.Table]
+		if t == nil {
+			return "", 0, fmt.Errorf("engine: join references table %s not in FROM", ref.Table)
+		}
+		c := t.ColumnIndex(ref.Column)
+		if c < 0 {
+			return "", 0, fmt.Errorf("engine: table %s has no column %s", ref.Table, ref.Column)
+		}
+		return ref.Table, c, nil
+	}
+	// Unqualified: exactly one FROM table must have the column.
+	found := ""
+	col = -1
+	for name, t := range tables {
+		if c := t.ColumnIndex(ref.Column); c >= 0 {
+			if found != "" {
+				return "", 0, fmt.Errorf("engine: ambiguous column %s", ref.Column)
+			}
+			found, col = name, c
+		}
+	}
+	if found == "" {
+		return "", 0, fmt.Errorf("engine: unknown column %s", ref.Column)
+	}
+	return found, col, nil
+}
+
+func findCol(cols []ColRef, table string, col int) int {
+	for i, c := range cols {
+		if c.Table == table && c.Col == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkPredsResolve verifies every filter predicate binds to exactly one
+// FROM table.
+func checkPredsResolve(tables map[string]*schema.Table, q *sqlkit.Query) error {
+	for _, p := range q.FilterPreds() {
+		ref := predColumn(p)
+		if ref.Table != "" {
+			t := tables[ref.Table]
+			if t == nil {
+				return fmt.Errorf("engine: predicate references table %s not in FROM", ref.Table)
+			}
+			if t.ColumnIndex(ref.Column) < 0 {
+				return fmt.Errorf("engine: table %s has no column %s", ref.Table, ref.Column)
+			}
+			continue
+		}
+		n := 0
+		for _, t := range tables {
+			if t.ColumnIndex(ref.Column) >= 0 {
+				n++
+			}
+		}
+		switch n {
+		case 0:
+			return fmt.Errorf("engine: unknown column %s in predicate", ref.Column)
+		case 1:
+		default:
+			return fmt.Errorf("engine: ambiguous column %s in predicate", ref.Column)
+		}
+	}
+	return nil
+}
+
+func predColumn(p sqlkit.Predicate) sqlkit.ColumnRef {
+	switch p := p.(type) {
+	case *sqlkit.ComparePred:
+		return p.Col
+	case *sqlkit.BetweenPred:
+		return p.Col
+	case *sqlkit.InPred:
+		return p.Col
+	default:
+		return sqlkit.ColumnRef{}
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// smallConfig keeps the experiment smoke tests quick.
+func smallConfig() Config {
+	return Config{Seed: 7, ScaleFactor: 0.2, Queries: 20}
+}
+
+func TestE1Example(t *testing.T) {
+	var sb strings.Builder
+	if err := E1Example(&sb, 42); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"HASH JOIN", "FILTER s", "SCAN r"} {
+		if !strings.Contains(sb.String(), frag) {
+			t.Errorf("E1 output missing %q", frag)
+		}
+	}
+}
+
+func TestE2RegionVsGrid(t *testing.T) {
+	var sb strings.Builder
+	if err := E2RegionVsGrid(&sb, smallConfig(), []int{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("E2 lines = %d:\n%s", len(lines), sb.String())
+	}
+}
+
+func TestE3DataScaleFree(t *testing.T) {
+	if err := E3DataScaleFree(io.Discard, smallConfig(), []float64{0.1, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE4Accuracy(t *testing.T) {
+	rep, err := E4Accuracy(io.Discard, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SatisfiedWithin(1.0) < 0.9 {
+		t.Errorf("within-100%% satisfaction %.3f", rep.SatisfiedWithin(1.0))
+	}
+}
+
+func TestE5ErrorVsScale(t *testing.T) {
+	if err := E5ErrorVsScale(io.Discard, smallConfig(), []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE6Velocity(t *testing.T) {
+	var sb strings.Builder
+	if err := E6Velocity(&sb, smallConfig(), []float64{0, 5000}, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "target_rps") {
+		t.Error("E6 output missing header")
+	}
+}
+
+func TestE7Datagen(t *testing.T) {
+	var sb strings.Builder
+	if err := E7Datagen(&sb, smallConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "stored_rows=0") {
+		t.Error("E7 did not demonstrate dataless tables")
+	}
+	if !strings.Contains(out, "match=true") {
+		t.Errorf("E7 dataless and materialized answers differ:\n%s", out)
+	}
+}
+
+func TestE8Scenario(t *testing.T) {
+	var sb strings.Builder
+	if err := E8Scenario(&sb, smallConfig(), []float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "true") {
+		t.Errorf("x10 scenario not feasible:\n%s", sb.String())
+	}
+}
+
+func TestE9Referential(t *testing.T) {
+	if err := E9Referential(io.Discard, smallConfig(), []float64{1, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE10Ablation(t *testing.T) {
+	var sb strings.Builder
+	if err := E10Ablation(&sb, smallConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no-inhabit") {
+		t.Error("ablation variant missing")
+	}
+}

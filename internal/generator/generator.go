@@ -1,0 +1,123 @@
+// Package generator implements Hydra's Tuple Generator: it expands a
+// database summary into concrete rows, one at a time, on demand. Plugged
+// into the engine's datagen scan it realizes the paper's dynamic
+// regeneration — queries execute against tables holding zero stored rows —
+// and because rows are produced in memory the generation velocity can be
+// regulated precisely (the rows/sec slider of the demo's vendor interface).
+package generator
+
+import (
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/summary"
+)
+
+// Stream yields the coded rows of one relation summary in primary-key
+// order: summary row j expands to its Count tuples, and tuple i (globally)
+// receives primary key i. Stream implements engine.RowSource.
+type Stream struct {
+	table *schema.Table
+	rel   *summary.Relation
+	pkIdx int
+
+	rowIdx int   // current summary row
+	within int64 // tuples already emitted from the current summary row
+	pk     int64 // next primary key (global tuple index)
+
+	buf []int64
+}
+
+// NewStream opens a generation stream over a relation summary.
+func NewStream(t *schema.Table, rel *summary.Relation) *Stream {
+	return &Stream{
+		table: t,
+		rel:   rel,
+		pkIdx: t.PKIndex(),
+		buf:   make([]int64, len(t.Columns)),
+	}
+}
+
+// Total returns the number of tuples the stream will produce.
+func (s *Stream) Total() int64 { return s.rel.Total }
+
+// Next produces the next tuple. The returned slice is reused across calls;
+// callers that retain rows must copy them.
+func (s *Stream) Next() ([]int64, bool) {
+	for s.rowIdx < len(s.rel.Rows) && s.within >= s.rel.Rows[s.rowIdx].Count {
+		s.rowIdx++
+		s.within = 0
+	}
+	if s.rowIdx >= len(s.rel.Rows) {
+		return nil, false
+	}
+	row := &s.rel.Rows[s.rowIdx]
+	if s.pkIdx >= 0 {
+		s.buf[s.pkIdx] = s.pk
+	}
+	for _, sp := range row.Specs {
+		if sp.Fixed != nil {
+			s.buf[sp.Col] = *sp.Fixed
+			continue
+		}
+		// Cycle deterministically through the spec's value set so the
+		// Count tuples spread evenly (foreign keys fan out across the
+		// whole referenced key range, as the paper's alignment intends).
+		s.buf[sp.Col] = sp.Set.At(s.within % sp.Set.Len())
+	}
+	s.within++
+	s.pk++
+	return s.buf, true
+}
+
+// Paced wraps a row source with a rate limiter, realizing the demo's
+// velocity slider. A rate of zero or less means unlimited.
+//
+// Pacing uses an absolute schedule: row i is due at start + i·interval, so
+// sleep overshoot (which on a typical kernel is tens of microseconds to a
+// millisecond per sleep) is automatically credited back — the achieved rate
+// converges to the requested one instead of drifting low.
+type Paced struct {
+	src interface {
+		Next() ([]int64, bool)
+	}
+	interval time.Duration // time budget per row
+	due      time.Time     // when the next row is due
+	started  bool
+}
+
+// maxBurstBehind caps how far the schedule may fall behind a slow consumer;
+// beyond this the limiter forgives the backlog rather than bursting.
+const maxBurstBehind = 100 * time.Millisecond
+
+// NewPaced limits src to rowsPerSec rows per second.
+func NewPaced(src interface {
+	Next() ([]int64, bool)
+}, rowsPerSec float64) *Paced {
+	p := &Paced{src: src}
+	if rowsPerSec > 0 {
+		p.interval = time.Duration(float64(time.Second) / rowsPerSec)
+	}
+	return p
+}
+
+// Next returns the next row no sooner than the rate allows. Sleeps shorter
+// than a millisecond are skipped and repaid on later rows, so high target
+// rates stay accurate without a syscall per row.
+func (p *Paced) Next() ([]int64, bool) {
+	if p.interval <= 0 {
+		return p.src.Next()
+	}
+	now := time.Now()
+	if !p.started {
+		p.started = true
+		p.due = now
+	}
+	if wait := p.due.Sub(now); wait > time.Millisecond {
+		time.Sleep(wait)
+	} else if wait < -maxBurstBehind {
+		p.due = now.Add(-maxBurstBehind)
+	}
+	p.due = p.due.Add(p.interval)
+	return p.src.Next()
+}

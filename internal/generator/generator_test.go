@@ -1,0 +1,140 @@
+package generator
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/summary"
+	"repro/internal/value"
+)
+
+func genTable() *schema.Table {
+	return &schema.Table{
+		Name: "t",
+		Columns: []*schema.Column{
+			{Name: "pk", Type: schema.Int, PrimaryKey: true, DomainLo: 0, DomainHi: 100},
+			{Name: "a", Type: schema.Int, DomainLo: 0, DomainHi: 100},
+			{Name: "fk", Type: schema.Int, Ref: &schema.ForeignKey{Table: "d", Column: "d_pk"}, DomainLo: 0, DomainHi: 10},
+		},
+	}
+}
+
+func genSummary() *summary.Relation {
+	return &summary.Relation{
+		Table: "t",
+		Total: 7,
+		Rows: []summary.Row{
+			{Count: 3, Specs: []summary.ColSpec{
+				summary.FixedSpec(1, 42),
+				summary.SetSpec(2, value.NewIntervalSet(value.Ival(2, 4))),
+			}},
+			{Count: 4, Specs: []summary.ColSpec{
+				summary.FixedSpec(1, 7),
+				summary.SetSpec(2, value.NewIntervalSet(value.Point(9))),
+			}},
+		},
+	}
+}
+
+func TestStreamExpandsRows(t *testing.T) {
+	s := NewStream(genTable(), genSummary())
+	if s.Total() != 7 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+	var got [][]int64
+	for {
+		row, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, append([]int64(nil), row...))
+	}
+	if len(got) != 7 {
+		t.Fatalf("produced %d rows", len(got))
+	}
+	for i, row := range got {
+		if row[0] != int64(i) {
+			t.Errorf("row %d pk = %d (auto-numbering broken)", i, row[0])
+		}
+	}
+	// First summary row: fixed a=42, fk cycles 2,3,2.
+	wantFK := []int64{2, 3, 2}
+	for i := 0; i < 3; i++ {
+		if got[i][1] != 42 || got[i][2] != wantFK[i] {
+			t.Errorf("row %d = %v", i, got[i])
+		}
+	}
+	// Second summary row: a=7, fk always 9.
+	for i := 3; i < 7; i++ {
+		if got[i][1] != 7 || got[i][2] != 9 {
+			t.Errorf("row %d = %v", i, got[i])
+		}
+	}
+}
+
+func TestStreamEmptySummary(t *testing.T) {
+	s := NewStream(genTable(), &summary.Relation{Table: "t"})
+	if _, ok := s.Next(); ok {
+		t.Error("empty summary produced a row")
+	}
+}
+
+func TestPacedRate(t *testing.T) {
+	rel := &summary.Relation{Table: "t", Total: 400, Rows: []summary.Row{
+		{Count: 400, Specs: []summary.ColSpec{summary.FixedSpec(1, 1), summary.FixedSpec(2, 2)}},
+	}}
+	p := NewPaced(NewStream(genTable(), rel), 1000) // 1000 rows/sec
+	start := time.Now()
+	n := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	if n != 400 {
+		t.Fatalf("rows = %d", n)
+	}
+	// 400 rows at 1000 rps ≈ 400ms; accept generous scheduling slop.
+	if elapsed < 300*time.Millisecond || elapsed > 700*time.Millisecond {
+		t.Errorf("elapsed %v for 400 rows @1000rps", elapsed)
+	}
+}
+
+func TestPacedUnlimited(t *testing.T) {
+	p := NewPaced(NewStream(genTable(), genSummary()), 0)
+	n := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 7 {
+		t.Errorf("rows = %d", n)
+	}
+}
+
+func TestMaterializeCSV(t *testing.T) {
+	var sb strings.Builder
+	n, err := Materialize(&sb, genTable(), genSummary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Errorf("materialized %d rows", n)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 8 { // header + 7 rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "pk,a,fk" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,42,2" {
+		t.Errorf("first row = %q", lines[1])
+	}
+}

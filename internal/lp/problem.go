@@ -1,0 +1,142 @@
+// Package lp is Hydra's linear-programming substrate. The paper hands its
+// per-relation LPs to the Z3 solver; here we implement the solver ourselves
+// (stdlib-only environment): a dense two-phase primal simplex with Bland's
+// anti-cycling rule in float64, plus an exact math/big.Rat twin used to
+// validate the float path in tests. Infeasible annotation sets (possible in
+// what-if scenarios) are handled by the relaxed formulation in atoms.go,
+// which minimizes the L1 norm of per-constraint deviations.
+package lp
+
+import "fmt"
+
+// ConKind is the relation of a constraint row.
+type ConKind uint8
+
+// Constraint kinds.
+const (
+	EQ ConKind = iota
+	LE
+	GE
+)
+
+// String returns the mathematical symbol of the kind.
+func (k ConKind) String() string {
+	switch k {
+	case EQ:
+		return "="
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Term is one coefficient of a constraint or objective.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is Σ Terms (Kind) RHS.
+type Constraint struct {
+	Terms []Term
+	Kind  ConKind
+	RHS   float64
+	Label string
+}
+
+// Problem is a minimization LP over non-negative variables.
+type Problem struct {
+	NumVars   int
+	Objective []Term // minimized; empty means pure feasibility
+	Cons      []Constraint
+}
+
+// AddConstraint appends a constraint.
+func (p *Problem) AddConstraint(c Constraint) { p.Cons = append(p.Cons, c) }
+
+// Validate checks variable indexes and finiteness.
+func (p *Problem) Validate() error {
+	check := func(ts []Term, where string) error {
+		for _, t := range ts {
+			if t.Var < 0 || t.Var >= p.NumVars {
+				return fmt.Errorf("lp: %s references variable %d of %d", where, t.Var, p.NumVars)
+			}
+		}
+		return nil
+	}
+	if err := check(p.Objective, "objective"); err != nil {
+		return err
+	}
+	for i, c := range p.Cons {
+		if err := check(c.Terms, fmt.Sprintf("constraint %d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Status is the outcome of a solve.
+type Status uint8
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution reports a solve result.
+type Solution struct {
+	Status Status
+	X      []float64 // length NumVars; valid when Status == Optimal
+	Obj    float64
+	Pivots int
+}
+
+// Eval returns the left-hand side of constraint c at x.
+func (c *Constraint) Eval(x []float64) float64 {
+	var s float64
+	for _, t := range c.Terms {
+		s += t.Coef * x[t.Var]
+	}
+	return s
+}
+
+// Violation returns how far x is from satisfying c (0 when satisfied).
+func (c *Constraint) Violation(x []float64) float64 {
+	lhs := c.Eval(x)
+	switch c.Kind {
+	case EQ:
+		d := lhs - c.RHS
+		if d < 0 {
+			return -d
+		}
+		return d
+	case LE:
+		if d := lhs - c.RHS; d > 0 {
+			return d
+		}
+	case GE:
+		if d := c.RHS - lhs; d > 0 {
+			return d
+		}
+	}
+	return 0
+}

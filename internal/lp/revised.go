@@ -1,0 +1,211 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// solveAtomsRevised solves the relaxed atom system with a revised simplex
+// specialized to its structure: atom columns are sparse 0/1 vectors (the
+// constraints the atom belongs to) and every constraint carries a +u/−v
+// deviation pair. Because {u_i} forms an identity starting basis with
+// x_B = b ≥ 0, no phase-1 is needed, and memory is O(m²) for the basis
+// inverse regardless of the (possibly very large) atom count — this is what
+// lets Hydra-style fact-table LPs with hundreds of thousands of variables
+// solve in seconds within the paper's data-scale-free budget.
+func solveAtomsRevised(s *AtomSystem) (x []float64, obj float64, pivots int, err error) {
+	rows := s.rows()
+	m := len(rows)
+	n := s.NumAtoms
+	if m == 0 {
+		return make([]float64, n), 0, 0, nil
+	}
+
+	// Per-atom constraint membership (column supports).
+	cols := make([][]int32, n)
+	for i, r := range rows {
+		for _, a := range r.Atoms {
+			cols[a] = append(cols[a], int32(i))
+		}
+	}
+	// Objective: deviations cost 1; preferred atoms get the tiny bonus.
+	costAtom := make([]float64, n)
+	if s.Total >= 0 {
+		for _, a := range s.Prefer {
+			costAtom[a] = -preferWeight
+		}
+	}
+
+	b := make([]float64, m)
+	for i, r := range rows {
+		b[i] = float64(r.Card)
+		if b[i] < 0 {
+			return nil, 0, 0, fmt.Errorf("lp: negative cardinality %v in %s", r.Card, r.Label)
+		}
+	}
+
+	// Variable numbering: [0,n) atoms, n+2i = u_i, n+2i+1 = v_i. Deficit
+	// (u) always costs 1; surplus (v) is free on GE rows.
+	costOf := func(v int) float64 {
+		if v < n {
+			return costAtom[v]
+		}
+		if (v-n)%2 == 1 && rows[(v-n)/2].Kind == GE {
+			return 0
+		}
+		return 1
+	}
+	// column returns the support and signs of variable v.
+	colSign := func(v int) ([]int32, float64) {
+		if v < n {
+			return cols[v], 1
+		}
+		i := int32((v - n) / 2)
+		if (v-n)%2 == 0 {
+			return []int32{i}, 1 // u_i
+		}
+		return []int32{i}, -1 // v_i
+	}
+
+	// Basis: u_i for every row; B = I.
+	basis := make([]int, m)
+	xB := make([]float64, m)
+	binv := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		basis[i] = n + 2*i
+		xB[i] = b[i]
+		binv[i] = make([]float64, m)
+		binv[i][i] = 1
+	}
+
+	y := make([]float64, m)
+	d := make([]float64, m)
+	const tol = 1e-7
+	stalled := 0
+	nVars := n + 2*m
+	objVal := func() float64 {
+		v := 0.0
+		for k := 0; k < m; k++ {
+			v += costOf(basis[k]) * xB[k]
+		}
+		return v
+	}
+
+	for {
+		// y = c_B^T B^{-1}.
+		for i := 0; i < m; i++ {
+			y[i] = 0
+		}
+		for k := 0; k < m; k++ {
+			cb := costOf(basis[k])
+			if cb == 0 {
+				continue
+			}
+			row := binv[k]
+			for i := 0; i < m; i++ {
+				y[i] += cb * row[i]
+			}
+		}
+		// Pricing.
+		enter, bestRC := -1, -tol
+		bland := stalled >= stallLimit
+		price := func(v int) float64 {
+			sup, sign := colSign(v)
+			dot := 0.0
+			for _, i := range sup {
+				dot += y[i]
+			}
+			return costOf(v) - sign*dot
+		}
+		for v := 0; v < nVars; v++ {
+			rc := price(v)
+			if bland {
+				if rc < -tol {
+					enter = v
+					break
+				}
+				continue
+			}
+			if rc < bestRC {
+				bestRC = rc
+				enter = v
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Direction d = B^{-1} A_enter.
+		sup, sign := colSign(enter)
+		for k := 0; k < m; k++ {
+			acc := 0.0
+			row := binv[k]
+			for _, i := range sup {
+				acc += row[i]
+			}
+			d[k] = sign * acc
+		}
+		// Ratio test (Bland tie-break on basis index).
+		leave := -1
+		best := math.Inf(1)
+		for k := 0; k < m; k++ {
+			if d[k] > tol {
+				r := xB[k] / d[k]
+				if r < best-tol || (math.Abs(r-best) <= tol && (leave < 0 || basis[k] < basis[leave])) {
+					best = r
+					leave = k
+				}
+			}
+		}
+		if leave < 0 {
+			return nil, 0, pivots, fmt.Errorf("lp: relaxed system reported unbounded (solver defect)")
+		}
+		before := objVal()
+		// Pivot: update xB and B^{-1}.
+		theta := best
+		for k := 0; k < m; k++ {
+			xB[k] -= theta * d[k]
+			if xB[k] < 0 && xB[k] > -1e-9 {
+				xB[k] = 0
+			}
+		}
+		xB[leave] = theta
+		piv := d[leave]
+		lrow := binv[leave]
+		inv := 1 / piv
+		for i := 0; i < m; i++ {
+			lrow[i] *= inv
+		}
+		for k := 0; k < m; k++ {
+			if k == leave || d[k] == 0 {
+				continue
+			}
+			f := d[k]
+			row := binv[k]
+			for i := 0; i < m; i++ {
+				row[i] -= f * lrow[i]
+			}
+		}
+		basis[leave] = enter
+		pivots++
+		if objVal() < before-1e-9 {
+			stalled = 0
+		} else {
+			stalled++
+		}
+		if pivots > maxPivots {
+			return nil, 0, pivots, fmt.Errorf("lp: revised pivot limit exceeded (%d)", maxPivots)
+		}
+	}
+
+	x = make([]float64, n)
+	for k := 0; k < m; k++ {
+		if basis[k] < n {
+			v := xB[k]
+			if v < 0 {
+				v = 0
+			}
+			x[basis[k]] = v
+		}
+	}
+	return x, objVal(), pivots, nil
+}

@@ -1,0 +1,283 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// eps is the feasibility/pivot tolerance of the float64 solver.
+	eps = 1e-9
+	// maxPivots guards against pathological cycling (Bland's rule makes
+	// this unreachable in theory; the guard converts a bug into an error).
+	maxPivots = 2_000_000
+)
+
+// Solve runs the two-phase primal simplex on the problem.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := newTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 1: minimize the sum of artificials.
+	if err := t.run(t.phase1Cost(), true); err != nil {
+		return nil, err
+	}
+	if t.objValue() > 1e-6 {
+		return &Solution{Status: Infeasible, Pivots: t.pivots}, nil
+	}
+	t.driveOutArtificials()
+	// Phase 2: original objective, artificials banned from entering.
+	if err := t.run(t.phase2Cost(p), false); err != nil {
+		return nil, err
+	}
+	if t.unbounded {
+		return &Solution{Status: Unbounded, Pivots: t.pivots}, nil
+	}
+	x := make([]float64, p.NumVars)
+	for i, bv := range t.basis {
+		if bv < p.NumVars {
+			x[bv] = t.rhs(i)
+		}
+	}
+	// Clamp tiny negatives from roundoff.
+	for i := range x {
+		if x[i] < 0 && x[i] > -1e-6 {
+			x[i] = 0
+		}
+	}
+	var obj float64
+	for _, term := range p.Objective {
+		obj += term.Coef * x[term.Var]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj, Pivots: t.pivots}, nil
+}
+
+// tableau is a dense simplex tableau in standard form
+// (equalities, b >= 0, artificial basis).
+type tableau struct {
+	m, n      int // constraint rows, structural+slack columns
+	nTotal    int // n + artificials
+	rows      [][]float64
+	basis     []int
+	cost      []float64 // current phase reduced-cost row, length nTotal+1
+	artStart  int
+	pivots    int
+	unbounded bool
+}
+
+// newTableau converts the problem to standard form: slack for LE, surplus
+// for GE, artificials giving an initial basis; rows with negative RHS are
+// negated first.
+func newTableau(p *Problem) (*tableau, error) {
+	m := len(p.Cons)
+	// Count slack/surplus columns.
+	extra := 0
+	for _, c := range p.Cons {
+		if c.Kind != EQ {
+			extra++
+		}
+	}
+	n := p.NumVars + extra
+	t := &tableau{m: m, n: n, nTotal: n + m, artStart: n}
+	t.rows = make([][]float64, m)
+	t.basis = make([]int, m)
+
+	slack := p.NumVars
+	for i, c := range p.Cons {
+		row := make([]float64, t.nTotal+1)
+		for _, term := range c.Terms {
+			row[term.Var] += term.Coef
+		}
+		rhs := c.RHS
+		switch c.Kind {
+		case LE:
+			row[slack] = 1
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+		}
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+		}
+		row[t.nTotal] = rhs
+		row[t.artStart+i] = 1
+		t.rows[i] = row
+		t.basis[i] = t.artStart + i
+		if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+			return nil, fmt.Errorf("lp: constraint %d has non-finite RHS", i)
+		}
+	}
+	return t, nil
+}
+
+func (t *tableau) rhs(i int) float64 { return t.rows[i][t.nTotal] }
+
+// phase1Cost returns the reduced-cost row for minimizing Σ artificials
+// given the all-artificial basis.
+func (t *tableau) phase1Cost() []float64 {
+	cost := make([]float64, t.nTotal+1)
+	for j := t.artStart; j < t.nTotal; j++ {
+		cost[j] = 1
+	}
+	// Reduce against the (artificial) basis: subtract each row.
+	for i := 0; i < t.m; i++ {
+		for j := 0; j <= t.nTotal; j++ {
+			cost[j] -= t.rows[i][j]
+		}
+	}
+	return cost
+}
+
+// phase2Cost returns the reduced-cost row for the original objective under
+// the current basis.
+func (t *tableau) phase2Cost(p *Problem) []float64 {
+	c := make([]float64, t.nTotal+1)
+	for _, term := range p.Objective {
+		c[term.Var] += term.Coef
+	}
+	for i, bv := range t.basis {
+		cb := 0.0
+		for _, term := range p.Objective {
+			if term.Var == bv {
+				cb += term.Coef
+			}
+		}
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= t.nTotal; j++ {
+			c[j] -= cb * t.rows[i][j]
+		}
+	}
+	return c
+}
+
+// objValue returns the current phase objective value (negated RHS of the
+// cost row).
+func (t *tableau) objValue() float64 { return -t.cost[t.nTotal] }
+
+// stallLimit is the number of consecutive non-improving (degenerate) pivots
+// after which pricing falls back from Dantzig to Bland's rule, whose
+// anti-cycling guarantee ensures termination.
+const stallLimit = 64
+
+// run iterates simplex pivots until optimal or unbounded. Pricing uses
+// Dantzig's rule (most negative reduced cost) for speed and switches to
+// Bland's rule while the objective stalls. allowArtificials permits
+// artificial columns to enter (phase 1 only).
+func (t *tableau) run(cost []float64, allowArtificials bool) error {
+	t.cost = cost
+	t.unbounded = false
+	stalled := 0
+	for {
+		limit := t.nTotal
+		if !allowArtificials {
+			limit = t.artStart
+		}
+		enter := -1
+		if stalled < stallLimit {
+			best := -eps
+			for j := 0; j < limit; j++ {
+				if t.cost[j] < best {
+					best = t.cost[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < limit; j++ {
+				if t.cost[j] < -eps {
+					enter = j // Bland: first improving column
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return nil // optimal for this phase
+		}
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][enter]
+			if a > eps {
+				r := t.rhs(i) / a
+				if r < best-eps || (math.Abs(r-best) <= eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			t.unbounded = true
+			return nil
+		}
+		before := t.objValue()
+		t.pivot(leave, enter)
+		if t.objValue() < before-eps {
+			stalled = 0
+		} else {
+			stalled++
+		}
+		if t.pivots > maxPivots {
+			return fmt.Errorf("lp: pivot limit exceeded (%d)", maxPivots)
+		}
+	}
+}
+
+// pivot performs a full tableau pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	t.pivots++
+	pr := t.rows[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j <= t.nTotal; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := 0; j <= t.nTotal; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+	}
+	if f := t.cost[col]; f != 0 {
+		for j := 0; j <= t.nTotal; j++ {
+			t.cost[j] -= f * pr[j]
+		}
+		t.cost[col] = 0
+	}
+	t.basis[row] = col
+}
+
+// driveOutArtificials pivots any artificial still basic (at zero level after
+// a feasible phase 1) onto a structural column, so phase 2 never re-grows
+// them. Rows with no eligible column are redundant and left in place (the
+// artificial stays basic at level 0 and is banned from entering).
+func (t *tableau) driveOutArtificials() {
+	for i, bv := range t.basis {
+		if bv < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

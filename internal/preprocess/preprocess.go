@@ -1,0 +1,347 @@
+// Package preprocess decomposes a workload of annotated query plans into
+// independent per-relation cardinality constraints — the role of the
+// DataSynth Preprocessor box in the Hydra architecture (Figure 2 of the
+// paper). Independence across relations is what makes the downstream LP
+// model tractable.
+//
+// A constraint's region is a RegionSpec: a conjunction of range conditions
+// on the relation's own attributes plus foreign-key terms "fk ∈ π(spec')",
+// where spec' is a region of the referenced table and π is the set of
+// primary-key values of the rows in that region. The π sets are not known
+// at preprocessing time — they materialize during summary construction via
+// deterministic alignment, which is why relations are later processed in
+// foreign-key topological order.
+//
+// Supported join topology (matching the paper's workloads): left-deep plans
+// whose base (leftmost) table reaches every joined table through foreign-key
+// edges — stars and snowflakes. Each k-th join edge yields a constraint on
+// the base table whose region nests the dimension regions joined so far.
+package preprocess
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aqp"
+	"repro/internal/engine"
+	"repro/internal/pred"
+	"repro/internal/schema"
+	"repro/internal/sqlkit"
+)
+
+// FKTerm constrains a foreign-key column to the primary keys of the rows of
+// Ref's table that fall in Ref.
+type FKTerm struct {
+	FKCol    int // column index in the owning table
+	RefTable string
+	Ref      *RegionSpec
+}
+
+// RegionSpec describes a constraint region of one table: own-attribute
+// ranges plus foreign-key terms. Specs form a DAG mirroring the schema's
+// foreign-key graph.
+type RegionSpec struct {
+	Table string
+	Own   *pred.Region
+	Terms []FKTerm
+}
+
+// Key returns a canonical identity for the spec's geometry, including the
+// geometry of every referenced spec.
+func (s *RegionSpec) Key() string {
+	var sb strings.Builder
+	sb.WriteString(s.Own.Key())
+	for _, t := range s.Terms {
+		fmt.Fprintf(&sb, "|fk%d→(%s)", t.FKCol, t.Ref.Key())
+	}
+	return sb.String()
+}
+
+// clone returns a shallow copy with its own Terms slice.
+func (s *RegionSpec) clone() *RegionSpec {
+	out := &RegionSpec{Table: s.Table, Own: s.Own}
+	out.Terms = append([]FKTerm(nil), s.Terms...)
+	return out
+}
+
+// Constraint requires the table to hold exactly Card rows inside Spec.
+type Constraint struct {
+	Table string
+	Spec  *RegionSpec
+	Card  int64
+	Label string
+}
+
+// Workload is the preprocessed form of an AQP workload.
+type Workload struct {
+	// Constraints lists cardinality constraints per table.
+	Constraints map[string][]*Constraint
+	// Regions registers, per table, every spec that participates in
+	// partitioning (constraint regions and foreign-key-referenced
+	// regions), keyed by Key().
+	Regions map[string]map[string]*RegionSpec
+	// Referenced marks spec keys whose primary-key set is consumed by a
+	// foreign-key term downstream; summary construction biases row
+	// placement toward keeping these regions populated.
+	Referenced map[string]map[string]bool
+	// Queries and Edges count processed inputs for reporting.
+	Queries int
+	Edges   int
+}
+
+// NewWorkload returns an empty workload.
+func NewWorkload() *Workload {
+	return &Workload{
+		Constraints: make(map[string][]*Constraint),
+		Regions:     make(map[string]map[string]*RegionSpec),
+		Referenced:  make(map[string]map[string]bool),
+	}
+}
+
+// Extract preprocesses the workload: it re-derives each query's canonical
+// plan (deterministic construction guarantees the same shape the client
+// annotated), walks plan and AQP in lockstep, and emits per-relation
+// constraints.
+func Extract(s *schema.Schema, workload []*aqp.AQP) (*Workload, error) {
+	w := NewWorkload()
+	for qi, a := range workload {
+		if err := w.addQuery(s, qi, a); err != nil {
+			return nil, fmt.Errorf("preprocess: query %d (%s): %w", qi, a.SQL, err)
+		}
+		w.Queries++
+	}
+	return w, nil
+}
+
+func (w *Workload) addQuery(s *schema.Schema, qi int, a *aqp.AQP) error {
+	q, err := sqlkit.Parse(a.SQL)
+	if err != nil {
+		return err
+	}
+	plan, err := engine.BuildPlan(s, q)
+	if err != nil {
+		return err
+	}
+	if err := a.Plan.Validate(); err != nil {
+		return err
+	}
+
+	// Strip the aggregate, then unzip the left-deep join spine.
+	pn, an := plan.Root, a.Plan
+	if pn.Op == engine.OpAggregate {
+		if an.Op != "AGGREGATE" || len(an.Children) != 1 {
+			return fmt.Errorf("plan/AQP shape mismatch at aggregate")
+		}
+		pn, an = pn.Children[0], an.Children[0]
+	}
+
+	type joinStep struct {
+		pn *engine.PlanNode
+		an *aqp.Node
+	}
+	var joins []joinStep
+	for pn.Op == engine.OpHashJoin {
+		if an.Op != "HASH JOIN" || len(an.Children) != 2 {
+			return fmt.Errorf("plan/AQP shape mismatch at join")
+		}
+		joins = append(joins, joinStep{pn, an})
+		pn, an = pn.Children[0], an.Children[0]
+	}
+	// joins is outermost-first; process innermost-first.
+	for i, j := 0, len(joins)-1; i < j; i, j = i+1, j-1 {
+		joins[i], joins[j] = joins[j], joins[i]
+	}
+
+	base := q.Tables[0]
+	label := func(desc string) string { return fmt.Sprintf("Q%d/%s", qi, desc) }
+
+	// tableSpec tracks each FROM table's current region spec.
+	tableSpec := make(map[string]*RegionSpec, len(q.Tables))
+	leafCard := make(map[string]int64)
+
+	// Leaves: the base leaf is pn/an; build leaves hang off the joins.
+	if err := w.addLeaf(s, q, pn, an, tableSpec, leafCard, label); err != nil {
+		return err
+	}
+	for _, js := range joins {
+		if err := w.addLeaf(s, q, js.pn.Children[1], js.an.Children[1], tableSpec, leafCard, label); err != nil {
+			return err
+		}
+	}
+
+	// Join edges: each extends the fk owner's spec and constrains the base.
+	for _, js := range joins {
+		fkTable, fkCol, pkTable, err := joinSides(s, q, js.pn)
+		if err != nil {
+			return err
+		}
+		owner := tableSpec[fkTable]
+		if owner == nil {
+			return fmt.Errorf("internal: no spec for table %s", fkTable)
+		}
+		refSpec := tableSpec[pkTable]
+		if refSpec == nil {
+			return fmt.Errorf("internal: no spec for table %s", pkTable)
+		}
+		extended := owner.clone()
+		extended.Terms = append(extended.Terms, FKTerm{FKCol: fkCol, RefTable: pkTable, Ref: refSpec})
+		w.replaceSpec(tableSpec, owner, extended)
+
+		baseSpec := tableSpec[base]
+		if fkTable != base && !reaches(baseSpec, extended) {
+			return fmt.Errorf("unsupported join topology: %s does not reach %s through foreign keys", base, fkTable)
+		}
+		w.emit(&Constraint{
+			Table: base,
+			Spec:  baseSpec,
+			Card:  js.an.Card,
+			Label: label("JOIN " + js.pn.JoinSQL),
+		})
+		w.Edges++
+	}
+
+	// Register final specs (covers unfiltered dimensions referenced only
+	// through joins).
+	for _, spec := range tableSpec {
+		w.register(spec, false)
+	}
+	return nil
+}
+
+// addLeaf processes a scan or filter(scan) leaf: seeds the table's spec and
+// emits the filter-edge constraint.
+func (w *Workload) addLeaf(s *schema.Schema, q *sqlkit.Query, pn *engine.PlanNode, an *aqp.Node, tableSpec map[string]*RegionSpec, leafCard map[string]int64, label func(string) string) error {
+	var table string
+	var own *pred.Region
+	var card int64
+	hasFilter := false
+	switch pn.Op {
+	case engine.OpScan:
+		if an.Op != "SCAN" {
+			return fmt.Errorf("plan/AQP shape mismatch at scan of %s", pn.Table)
+		}
+		table = pn.Table
+		var err error
+		own, err = pred.Compile(s.Table(table), nil)
+		if err != nil {
+			return err
+		}
+	case engine.OpFilter:
+		if an.Op != "FILTER" || len(an.Children) != 1 || an.Children[0].Op != "SCAN" {
+			return fmt.Errorf("plan/AQP shape mismatch at filter")
+		}
+		table = pn.Pred.Table
+		own = pn.Pred
+		card = an.Card
+		hasFilter = true
+	default:
+		return fmt.Errorf("unexpected leaf operator %v", pn.Op)
+	}
+	spec := &RegionSpec{Table: table, Own: own}
+	tableSpec[table] = spec
+	if hasFilter {
+		leafCard[table] = card
+		w.emit(&Constraint{Table: table, Spec: spec, Card: card, Label: label("FILTER " + table)})
+		w.Edges++
+	}
+	return nil
+}
+
+// joinSides resolves which side of a join owns the foreign key. Exactly one
+// side must be a foreign key referencing the other side's primary key.
+func joinSides(s *schema.Schema, q *sqlkit.Query, pn *engine.PlanNode) (fkTable string, fkCol int, pkTable string, err error) {
+	lref := pn.Cols[pn.LeftKey] // column in probe output
+	rref := pn.Children[1].Cols[pn.RightKey]
+	lt, rt := s.Table(lref.Table), s.Table(rref.Table)
+	lc, rc := lt.Columns[lref.Col], rt.Columns[rref.Col]
+	switch {
+	case lc.Ref != nil && lc.Ref.Table == rt.Name && lc.Ref.Column == rc.Name:
+		return lt.Name, lref.Col, rt.Name, nil
+	case rc.Ref != nil && rc.Ref.Table == lt.Name && rc.Ref.Column == lc.Name:
+		return rt.Name, rref.Col, lt.Name, nil
+	default:
+		return "", 0, "", fmt.Errorf("join %s is not a foreign-key join", pn.JoinSQL)
+	}
+}
+
+// replaceSpec swaps old for new in the table-spec map, rebuilding any spec
+// that references old (directly or transitively) so the pointer graph stays
+// consistent.
+func (w *Workload) replaceSpec(tableSpec map[string]*RegionSpec, old, new *RegionSpec) {
+	for t, s := range tableSpec {
+		tableSpec[t] = substitute(s, old, new)
+	}
+}
+
+// substitute returns s with every reference to old replaced by new
+// (returning s unchanged when it does not reach old).
+func substitute(s, old, new *RegionSpec) *RegionSpec {
+	if s == old {
+		return new
+	}
+	changed := false
+	terms := make([]FKTerm, len(s.Terms))
+	for i, t := range s.Terms {
+		nt := t
+		nt.Ref = substitute(t.Ref, old, new)
+		if nt.Ref != t.Ref {
+			changed = true
+		}
+		terms[i] = nt
+	}
+	if !changed {
+		return s
+	}
+	return &RegionSpec{Table: s.Table, Own: s.Own, Terms: terms}
+}
+
+// reaches reports whether spec a references spec b transitively.
+func reaches(a, b *RegionSpec) bool {
+	if a == b {
+		return true
+	}
+	for _, t := range a.Terms {
+		if reaches(t.Ref, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// emit records a constraint, deduplicating exact repeats, and registers its
+// region graph.
+func (w *Workload) emit(c *Constraint) {
+	key := c.Spec.Key()
+	for _, prev := range w.Constraints[c.Table] {
+		if prev.Spec.Key() == key && prev.Card == c.Card {
+			return // identical constraint from another query
+		}
+	}
+	w.Constraints[c.Table] = append(w.Constraints[c.Table], c)
+	w.register(c.Spec, false)
+}
+
+// register adds the spec (and, recursively, every referenced spec) to the
+// region registry. referenced marks specs consumed by fk terms.
+func (w *Workload) register(s *RegionSpec, referenced bool) {
+	m := w.Regions[s.Table]
+	if m == nil {
+		m = make(map[string]*RegionSpec)
+		w.Regions[s.Table] = m
+	}
+	key := s.Key()
+	if _, ok := m[key]; !ok {
+		m[key] = s
+	}
+	if referenced {
+		r := w.Referenced[s.Table]
+		if r == nil {
+			r = make(map[string]bool)
+			w.Referenced[s.Table] = r
+		}
+		r[key] = true
+	}
+	for _, t := range s.Terms {
+		w.register(t.Ref, true)
+	}
+}

@@ -1,0 +1,235 @@
+// Package region implements Hydra's central algorithmic contribution: the
+// region-partitioning of a relation's attribute space into the minimal set
+// of LP variables, plus the DataSynth grid-partitioning baseline it is
+// evaluated against.
+//
+// A relation's constraint space is spanned by the columns any workload
+// constraint touches (non-key attributes and foreign-key columns mapped to
+// the referenced table's primary-key index domain). Every constraint region
+// is a product region: the cross product of one integer interval set per
+// axis — range/IN predicates give interval sets directly, and foreign-key
+// terms resolve to primary-key interval sets through deterministic
+// alignment. Blocks of the partition are likewise product regions, which is
+// the representation that keeps refinement tractable: intersecting two
+// blocks is per-axis work, and subtracting one from another yields at most
+// one block per axis instead of a cross-product explosion of boxes.
+//
+// Partition refines the space into the non-empty atoms of the Boolean
+// algebra the constraint regions generate: by construction the minimum
+// number of variables such that every constraint region is an exact union
+// of variables — the optimality property claimed in the paper.
+package region
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Space fixes the axes of one relation's constraint space.
+type Space struct {
+	Table   string
+	Cols    []int // table column indexes, ascending
+	Domains []value.Interval
+}
+
+// NewSpace builds a space over the given column indexes of a table.
+func NewSpace(t *schema.Table, cols []int) *Space {
+	s := &Space{Table: t.Name, Cols: cols}
+	for _, c := range cols {
+		s.Domains = append(s.Domains, t.Columns[c].Domain())
+	}
+	return s
+}
+
+// Dims returns the dimensionality of the space.
+func (s *Space) Dims() int { return len(s.Cols) }
+
+// AxisOf returns the axis index of a table column, or -1.
+func (s *Space) AxisOf(col int) int {
+	for i, c := range s.Cols {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// Full returns the block covering the whole space.
+func (s *Space) Full() Block {
+	b := make(Block, len(s.Domains))
+	for i, d := range s.Domains {
+		b[i] = value.NewIntervalSet(d)
+	}
+	return b
+}
+
+// Block is a product region: one canonical interval set per axis, denoting
+// the cross product of the sets. A zero-dimensional block is the single
+// empty tuple and is non-empty.
+type Block []value.IntervalSet
+
+// Empty reports whether the block covers no points.
+func (b Block) Empty() bool {
+	for _, s := range b {
+		if s.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (b Block) Clone() Block {
+	out := make(Block, len(b))
+	for i, s := range b {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Intersect returns the per-axis intersection.
+func (b Block) Intersect(o Block) Block {
+	out := make(Block, len(b))
+	for i := range b {
+		out[i] = b[i].Intersect(o[i])
+	}
+	return out
+}
+
+// Contains reports whether the point (one code per axis) lies in the block.
+func (b Block) Contains(pt []int64) bool {
+	for i, s := range b {
+		if !s.Contains(pt[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Points returns the number of integer points in the block, saturating at
+// math.MaxInt64 on overflow.
+func (b Block) Points() int64 {
+	n := int64(1)
+	for _, s := range b {
+		l := s.Len()
+		if l == 0 {
+			return 0
+		}
+		if n > math.MaxInt64/l {
+			return math.MaxInt64
+		}
+		n *= l
+	}
+	return n
+}
+
+// Subtract returns b minus o as at most len(b) disjoint blocks, using the
+// axis sweep
+//
+//	b ∖ o = ⋃_a  (b₁∩o₁) × … × (b_{a-1}∩o_{a-1}) × (b_a ∖ o_a) × b_{a+1} × … × b_d .
+func (b Block) Subtract(o Block) []Block {
+	x := b.Intersect(o)
+	if x.Empty() {
+		return []Block{b.Clone()}
+	}
+	var out []Block
+	cur := b.Clone()
+	for a := range b {
+		rest := cur[a].Subtract(o[a])
+		if !rest.Empty() {
+			piece := cur.Clone()
+			piece[a] = rest
+			out = append(out, piece)
+		}
+		cur[a] = x[a]
+	}
+	return out
+}
+
+// String renders the block as a cross product of interval sets.
+func (b Block) String() string {
+	parts := make([]string, len(b))
+	for i, s := range b {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "×")
+}
+
+// BlockUnion is a set of pairwise-disjoint blocks.
+type BlockUnion []Block
+
+// Empty reports whether the union covers no points.
+func (u BlockUnion) Empty() bool {
+	for _, b := range u {
+		if !b.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Points returns the total point count, saturating at math.MaxInt64.
+func (u BlockUnion) Points() int64 {
+	var n int64
+	for _, b := range u {
+		p := b.Points()
+		if n > math.MaxInt64-p {
+			return math.MaxInt64
+		}
+		n += p
+	}
+	return n
+}
+
+// Contains reports whether the point lies in any block.
+func (u BlockUnion) Contains(pt []int64) bool {
+	for _, b := range u {
+		if b.Contains(pt) {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectBlock returns the union's intersection with a single block.
+func (u BlockUnion) IntersectBlock(o Block) BlockUnion {
+	var out BlockUnion
+	for _, b := range u {
+		x := b.Intersect(o)
+		if !x.Empty() {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// SubtractBlock returns the union minus a single block.
+func (u BlockUnion) SubtractBlock(o Block) BlockUnion {
+	var out BlockUnion
+	for _, b := range u {
+		out = append(out, b.Subtract(o)...)
+	}
+	return out
+}
+
+// BlockFromSets builds the product region over the space from per-column
+// interval sets; axes absent from the map span their full domain. It
+// returns an empty (nil) block when some set is empty.
+func BlockFromSets(s *Space, sets map[int]value.IntervalSet) (Block, error) {
+	b := make(Block, s.Dims())
+	for a := range b {
+		b[a] = value.NewIntervalSet(s.Domains[a])
+	}
+	for col, set := range sets {
+		a := s.AxisOf(col)
+		if a < 0 {
+			return nil, fmt.Errorf("region: column %d not an axis of space %s", col, s.Table)
+		}
+		b[a] = set.Intersect(b[a])
+	}
+	return b, nil
+}

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/summary"
+	"repro/internal/toy"
+	"repro/internal/verify"
+)
+
+func toyPackage(t *testing.T) *core.TransferPackage {
+	t.Helper()
+	db, err := toy.Database(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := core.CaptureClient(db, toy.Workload(), core.CaptureOptions{SkipStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestApplyUniformScale(t *testing.T) {
+	pkg := toyPackage(t)
+	sc := &Scenario{Name: "x10", Factor: 10}
+	scaled, err := sc.Apply(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Schema.Table("r").RowCount != 10*pkg.Schema.Table("r").RowCount {
+		t.Error("row count not scaled")
+	}
+	// Plan edges scale; aggregates stay at one row.
+	orig := pkg.Workload[0].Plan
+	got := scaled.Workload[0].Plan
+	if got.Children[0].Card != 10*orig.Children[0].Card {
+		t.Errorf("join card %d, want %d", got.Children[0].Card, 10*orig.Children[0].Card)
+	}
+	// The original package is untouched.
+	if pkg.Schema.Table("r").RowCount != toy.RRows {
+		t.Error("Apply mutated the input")
+	}
+}
+
+func TestApplyPerTableFactors(t *testing.T) {
+	pkg := toyPackage(t)
+	sc := &Scenario{TableFactor: map[string]float64{"s": 2, "t": 1, "r": 1}}
+	scaled, err := sc.Apply(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Schema.Table("s").RowCount != 2*toy.SRows {
+		t.Error("per-table factor ignored")
+	}
+	if scaled.Schema.Table("r").RowCount != toy.RRows {
+		t.Error("unscaled table changed")
+	}
+	// r's s_fk domain must track the scaled dimension.
+	fk := scaled.Schema.Table("r").Column("s_fk")
+	if fk.DomainHi != 2*toy.SRows {
+		t.Errorf("fk domain = %d", fk.DomainHi)
+	}
+}
+
+func TestBuildFeasibleScenario(t *testing.T) {
+	pkg := toyPackage(t)
+	sc := &Scenario{Name: "x100", Factor: 100}
+	feas, err := sc.Build(pkg, summary.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feas.Feasible {
+		t.Errorf("x100 scenario infeasible: deviation=%d rel=%v", feas.TotalDeviation, feas.RelDeviation)
+	}
+	// The what-if summary must actually regenerate at the new scale.
+	rep, err := verify.Verify(core.RegenDatabase(feas.Summary, 0), (&Scenario{Factor: 100}).mustApply(t, pkg).Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.SatisfiedWithin(0.01); got < 0.95 {
+		t.Errorf("scaled satisfaction = %v", got)
+	}
+}
+
+func (sc *Scenario) mustApply(t *testing.T, pkg *core.TransferPackage) *core.TransferPackage {
+	t.Helper()
+	out, err := sc.Apply(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestInjectEdge(t *testing.T) {
+	pkg := toyPackage(t)
+	// Query 1 is "SELECT COUNT(*) FROM s WHERE ...": inject its filter edge.
+	sc := &Scenario{
+		Factor: 1,
+		Inject: map[int]map[string]int64{1: {"AGGREGATE/FILTER(s)/SCAN(s)": 500}},
+	}
+	scaled, err := sc.Apply(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Workload[1].Plan.Children[0].Children[0].Card != 500 {
+		t.Errorf("injection missed: %+v", scaled.Workload[1].Plan)
+	}
+	bad := &Scenario{Inject: map[int]map[string]int64{0: {"NO/SUCH/PATH": 1}}}
+	if _, err := bad.Apply(pkg); err == nil {
+		t.Error("bad injection path accepted")
+	}
+}
+
+func TestInfeasibleInjection(t *testing.T) {
+	pkg := toyPackage(t)
+	// Query 0 (the Figure 1 join) and query 1 both annotate the same σ(s)
+	// region; pinning query 1's filter to a different count makes the
+	// annotation set contradictory.
+	truth := pkg.Workload[1].Plan.Children[0].Card
+	sc := &Scenario{
+		Factor: 1,
+		Inject: map[int]map[string]int64{1: {"AGGREGATE/FILTER(s)": truth / 2}},
+	}
+	feas, err := sc.Build(pkg, summary.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feas.Feasible {
+		t.Error("contradictory injection reported feasible")
+	}
+	if feas.TotalDeviation == 0 {
+		t.Error("deviation not reported")
+	}
+}

@@ -1,0 +1,180 @@
+package sqlkit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// CompareOp is a scalar comparison operator.
+type CompareOp uint8
+
+// Comparison operators.
+const (
+	OpEQ CompareOp = iota
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "<>"
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// ColumnRef names a column, optionally qualified by table.
+type ColumnRef struct {
+	Table  string `json:"table,omitempty"`
+	Column string `json:"column"`
+}
+
+// String renders the reference in table.column form.
+func (c ColumnRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// Predicate is one conjunct of a WHERE clause.
+type Predicate interface {
+	// SQL renders the predicate as SQL text.
+	SQL() string
+	isPredicate()
+}
+
+// ComparePred is "col OP literal".
+type ComparePred struct {
+	Col ColumnRef
+	Op  CompareOp
+	Val value.Value
+}
+
+func (p *ComparePred) isPredicate() {}
+
+// SQL implements Predicate.
+func (p *ComparePred) SQL() string {
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val.SQL())
+}
+
+// BetweenPred is "col BETWEEN lo AND hi" (inclusive both ends).
+type BetweenPred struct {
+	Col    ColumnRef
+	Lo, Hi value.Value
+}
+
+func (p *BetweenPred) isPredicate() {}
+
+// SQL implements Predicate.
+func (p *BetweenPred) SQL() string {
+	return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, p.Lo.SQL(), p.Hi.SQL())
+}
+
+// InPred is "col IN (v1, v2, ...)".
+type InPred struct {
+	Col  ColumnRef
+	Vals []value.Value
+}
+
+func (p *InPred) isPredicate() {}
+
+// SQL implements Predicate.
+func (p *InPred) SQL() string {
+	parts := make([]string, len(p.Vals))
+	for i, v := range p.Vals {
+		parts[i] = v.SQL()
+	}
+	return fmt.Sprintf("%s IN (%s)", p.Col, strings.Join(parts, ", "))
+}
+
+// JoinPred is "left = right" between two column references.
+type JoinPred struct {
+	Left, Right ColumnRef
+}
+
+func (p *JoinPred) isPredicate() {}
+
+// SQL implements Predicate.
+func (p *JoinPred) SQL() string {
+	return fmt.Sprintf("%s = %s", p.Left, p.Right)
+}
+
+// Query is a parsed SPJ query.
+type Query struct {
+	// Star is true for SELECT *; CountStar for SELECT COUNT(*).
+	Star      bool
+	CountStar bool
+	Columns   []ColumnRef // projection list when neither Star nor CountStar
+
+	Tables []string
+	Preds  []Predicate
+}
+
+// SQL renders the query back to SQL text.
+func (q *Query) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	switch {
+	case q.CountStar:
+		sb.WriteString("COUNT(*)")
+	case q.Star:
+		sb.WriteString("*")
+	default:
+		parts := make([]string, len(q.Columns))
+		for i, c := range q.Columns {
+			parts[i] = c.String()
+		}
+		sb.WriteString(strings.Join(parts, ", "))
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(strings.Join(q.Tables, ", "))
+	if len(q.Preds) > 0 {
+		sb.WriteString(" WHERE ")
+		parts := make([]string, len(q.Preds))
+		for i, p := range q.Preds {
+			parts[i] = p.SQL()
+		}
+		sb.WriteString(strings.Join(parts, " AND "))
+	}
+	return sb.String()
+}
+
+// JoinPreds returns the join predicates in q.
+func (q *Query) JoinPreds() []*JoinPred {
+	var out []*JoinPred
+	for _, p := range q.Preds {
+		if jp, ok := p.(*JoinPred); ok {
+			out = append(out, jp)
+		}
+	}
+	return out
+}
+
+// FilterPreds returns the non-join predicates in q.
+func (q *Query) FilterPreds() []Predicate {
+	var out []Predicate
+	for _, p := range q.Preds {
+		if _, ok := p.(*JoinPred); !ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package sqlkit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Parse parses one SPJ query. The grammar is:
+//
+//	query  := SELECT (COUNT '(' '*' ')' | '*' | colref (',' colref)*)
+//	          FROM ident (',' ident)* [WHERE pred (AND pred)*] [';']
+//	pred   := colref op literal | literal op colref
+//	        | colref BETWEEN literal AND literal
+//	        | colref IN '(' literal (',' literal)* ')'
+//	        | colref '=' colref
+//	op     := '=' | '<>' | '<' | '<=' | '>' | '>='
+//	colref := ident ['.' ident]
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != kw {
+		return fmt.Errorf("sqlkit: expected %s, got %s", strings.ToUpper(kw), t)
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokIdent && p.cur().text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("sqlkit: expected %q, got %s", sym, t)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == sym {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("sqlkit: expected table name, got %s", t)
+		}
+		q.Tables = append(q.Tables, t.text)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Preds = append(q.Preds, pred)
+			if !p.acceptKeyword("and") {
+				break
+			}
+		}
+	}
+	p.acceptSymbol(";")
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlkit: trailing input at %s", t)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList(q *Query) error {
+	if p.acceptSymbol("*") {
+		q.Star = true
+		return nil
+	}
+	if p.cur().kind == tokIdent && p.cur().text == "count" {
+		p.i++
+		if err := p.expectSymbol("("); err != nil {
+			return err
+		}
+		if err := p.expectSymbol("*"); err != nil {
+			return err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+		q.CountStar = true
+		return nil
+	}
+	for {
+		cr, err := p.parseColumnRef()
+		if err != nil {
+			return err
+		}
+		q.Columns = append(q.Columns, cr)
+		if !p.acceptSymbol(",") {
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return ColumnRef{}, fmt.Errorf("sqlkit: expected column, got %s", t)
+	}
+	cr := ColumnRef{Column: t.text}
+	if p.acceptSymbol(".") {
+		t2 := p.next()
+		if t2.kind != tokIdent {
+			return ColumnRef{}, fmt.Errorf("sqlkit: expected column after '.', got %s", t2)
+		}
+		cr.Table, cr.Column = t.text, t2.text
+	}
+	return cr, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	// A predicate may start with a literal (e.g. "20 <= s.a"); normalize
+	// by flipping the comparison.
+	if p.cur().kind == tokNumber || p.cur().kind == tokString {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.parseCompareOp()
+		if err != nil {
+			return nil, err
+		}
+		cr, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		return &ComparePred{Col: cr, Op: flipOp(op), Val: lit}, nil
+	}
+
+	cr, err := p.parseColumnRef()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("between") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenPred{Col: cr, Lo: lo, Hi: hi}, nil
+	}
+	if p.acceptKeyword("in") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []value.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if p.acceptSymbol(")") {
+				break
+			}
+			if err := p.expectSymbol(","); err != nil {
+				return nil, err
+			}
+		}
+		return &InPred{Col: cr, Vals: vals}, nil
+	}
+	op, err := p.parseCompareOp()
+	if err != nil {
+		return nil, err
+	}
+	// Right side: column (join) or literal.
+	if p.cur().kind == tokIdent {
+		rhs, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		if op != OpEQ {
+			return nil, fmt.Errorf("sqlkit: join predicates must use '=', got %s", op)
+		}
+		return &JoinPred{Left: cr, Right: rhs}, nil
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &ComparePred{Col: cr, Op: op, Val: lit}, nil
+}
+
+func (p *parser) parseCompareOp() (CompareOp, error) {
+	t := p.next()
+	if t.kind != tokSymbol {
+		return 0, fmt.Errorf("sqlkit: expected comparison operator, got %s", t)
+	}
+	switch t.text {
+	case "=":
+		return OpEQ, nil
+	case "<>":
+		return OpNE, nil
+	case "<":
+		return OpLT, nil
+	case "<=":
+		return OpLE, nil
+	case ">":
+		return OpGT, nil
+	case ">=":
+		return OpGE, nil
+	default:
+		return 0, fmt.Errorf("sqlkit: expected comparison operator, got %s", t)
+	}
+}
+
+func flipOp(op CompareOp) CompareOp {
+	switch op {
+	case OpLT:
+		return OpGT
+	case OpLE:
+		return OpGE
+	case OpGT:
+		return OpLT
+	case OpGE:
+		return OpLE
+	default:
+		return op
+	}
+}
+
+func (p *parser) parseLiteral() (value.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return value.Null, fmt.Errorf("sqlkit: bad float %q: %v", t.text, err)
+			}
+			return value.NewFloat(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("sqlkit: bad integer %q: %v", t.text, err)
+		}
+		return value.NewInt(i), nil
+	case tokString:
+		return value.NewString(t.text), nil
+	default:
+		return value.Null, fmt.Errorf("sqlkit: expected literal, got %s", t)
+	}
+}

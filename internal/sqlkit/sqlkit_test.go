@@ -1,0 +1,196 @@
+package sqlkit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func mustParse(t *testing.T, sql string) *Query {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return q
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM r")
+	if !q.Star || q.CountStar || len(q.Tables) != 1 || q.Tables[0] != "r" {
+		t.Errorf("got %+v", q)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q := mustParse(t, "select count(*) from s where a >= 20 and a < 60;")
+	if !q.CountStar {
+		t.Error("CountStar not set")
+	}
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %d", len(q.Preds))
+	}
+	p0 := q.Preds[0].(*ComparePred)
+	if p0.Col.Column != "a" || p0.Op != OpGE || p0.Val.Int() != 20 {
+		t.Errorf("pred 0 = %+v", p0)
+	}
+}
+
+func TestParseProjection(t *testing.T) {
+	q := mustParse(t, "SELECT r.x, y FROM r")
+	if len(q.Columns) != 2 || q.Columns[0].Table != "r" || q.Columns[0].Column != "x" || q.Columns[1].Column != "y" {
+		t.Errorf("columns = %+v", q.Columns)
+	}
+}
+
+func TestParseJoinAndQualified(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM r, s, t WHERE r.s_fk = s.s_pk AND r.t_fk = t.t_pk AND s.a >= 20")
+	joins := q.JoinPreds()
+	if len(joins) != 2 {
+		t.Fatalf("joins = %d", len(joins))
+	}
+	if joins[0].Left.String() != "r.s_fk" || joins[0].Right.String() != "s.s_pk" {
+		t.Errorf("join 0 = %+v", joins[0])
+	}
+	if len(q.FilterPreds()) != 1 {
+		t.Errorf("filters = %d", len(q.FilterPreds()))
+	}
+}
+
+func TestParseBetweenInString(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(*) FROM item WHERE i_category IN ('Music', 'Books') AND i_manager_id BETWEEN 10 AND 20 AND i_class = 'pop'")
+	in := q.Preds[0].(*InPred)
+	if len(in.Vals) != 2 || in.Vals[0].Str() != "Music" {
+		t.Errorf("in = %+v", in)
+	}
+	bw := q.Preds[1].(*BetweenPred)
+	if bw.Lo.Int() != 10 || bw.Hi.Int() != 20 {
+		t.Errorf("between = %+v", bw)
+	}
+	eq := q.Preds[2].(*ComparePred)
+	if eq.Op != OpEQ || eq.Val.Str() != "pop" {
+		t.Errorf("eq = %+v", eq)
+	}
+}
+
+func TestParseFlippedComparison(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM s WHERE 20 <= a")
+	p := q.Preds[0].(*ComparePred)
+	if p.Col.Column != "a" || p.Op != OpGE || p.Val.Int() != 20 {
+		t.Errorf("flipped pred = %+v (op %v)", p, p.Op)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM s WHERE a < 2.5 AND b = -3 AND c <> 'it''s'")
+	if v := q.Preds[0].(*ComparePred).Val; v.Kind() != value.KindFloat || v.Float() != 2.5 {
+		t.Errorf("float literal = %v", v)
+	}
+	if v := q.Preds[1].(*ComparePred).Val; v.Int() != -3 {
+		t.Errorf("negative literal = %v", v)
+	}
+	p2 := q.Preds[2].(*ComparePred)
+	if p2.Op != OpNE || p2.Val.Str() != "it's" {
+		t.Errorf("escaped string = %+v", p2)
+	}
+}
+
+func TestParseNotEqualsVariants(t *testing.T) {
+	a := mustParse(t, "SELECT * FROM s WHERE a <> 1")
+	b := mustParse(t, "SELECT * FROM s WHERE a != 1")
+	if a.SQL() != b.SQL() {
+		t.Errorf("<> and != differ: %s vs %s", a.SQL(), b.SQL())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"INSERT INTO t VALUES (1)",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a >",
+		"SELECT * FROM t WHERE a BETWEEN 1",
+		"SELECT * FROM t WHERE a IN ()",
+		"SELECT * FROM t WHERE a IN (1,)",
+		"SELECT * FROM t WHERE a < 'x' extra",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT count(* FROM t",
+		"SELECT * FROM t WHERE a.b.c = 1",
+		"SELECT * FROM t WHERE a ~ 1",
+		"SELECT * FROM t WHERE a < b.c.d",
+		"SELECT * FROM t WHERE t.x < s.y", // non-equality join
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM r",
+		"SELECT COUNT(*) FROM r, s WHERE r.s_fk = s.s_pk AND s.a >= 20 AND s.a < 60",
+		"SELECT COUNT(*) FROM item WHERE i_category IN ('a', 'b') AND i_price BETWEEN 1 AND 2",
+		"SELECT x, y FROM t WHERE x <> 3",
+	}
+	for _, sql := range queries {
+		q := mustParse(t, sql)
+		rendered := q.SQL()
+		q2 := mustParse(t, rendered)
+		if q2.SQL() != rendered {
+			t.Errorf("round trip unstable:\n  %s\n  %s", rendered, q2.SQL())
+		}
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	q := mustParse(t, "select count(*) from a, b where a.x = b.y and a.z in (1, 2) and a.w between 3 and 4 and a.v >= 'm'")
+	got := q.SQL()
+	for _, frag := range []string{"COUNT(*)", "a.x = b.y", "a.z IN (1, 2)", "a.w BETWEEN 3 AND 4", "a.v >= 'm'"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("SQL() = %q missing %q", got, frag)
+		}
+	}
+}
+
+func TestCompareOpString(t *testing.T) {
+	ops := map[CompareOp]string{OpEQ: "=", OpNE: "<>", OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d String = %q", op, op.String())
+		}
+	}
+	if CompareOp(99).String() != "?" {
+		t.Error("unknown op should render ?")
+	}
+}
+
+func TestColumnRefString(t *testing.T) {
+	if (ColumnRef{Column: "c"}).String() != "c" {
+		t.Error("unqualified ref")
+	}
+	if (ColumnRef{Table: "t", Column: "c"}).String() != "t.c" {
+		t.Error("qualified ref")
+	}
+}
+
+func TestLexerIdentifiersCaseFolded(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM MyTable WHERE BigCol = 1")
+	if q.Tables[0] != "mytable" {
+		t.Errorf("table = %q", q.Tables[0])
+	}
+	if q.Preds[0].(*ComparePred).Col.Column != "bigcol" {
+		t.Errorf("column = %q", q.Preds[0].(*ComparePred).Col.Column)
+	}
+}
+
+func TestStringLiteralCasePreserved(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM t WHERE c = 'MiXeD'")
+	if q.Preds[0].(*ComparePred).Val.Str() != "MiXeD" {
+		t.Error("string literal case must be preserved")
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist draws integer codes from some distribution over a coded domain.
+// Implementations must be deterministic given the seed of the supplied RNG.
+type Dist interface {
+	// Draw returns one code.
+	Draw(r *rand.Rand) int64
+}
+
+// UniformDist draws uniformly from [Lo, Hi).
+type UniformDist struct {
+	Lo, Hi int64
+}
+
+// Draw implements Dist.
+func (d UniformDist) Draw(r *rand.Rand) int64 {
+	if d.Hi <= d.Lo {
+		return d.Lo
+	}
+	return d.Lo + r.Int63n(d.Hi-d.Lo)
+}
+
+// ZipfDist draws Zipf-skewed ranks mapped onto [Lo, Hi). S and V follow
+// math/rand's Zipf parameterization (S > 1, V >= 1).
+type ZipfDist struct {
+	Lo, Hi int64
+	S, V   float64
+}
+
+// Draw implements Dist.
+func (d ZipfDist) Draw(r *rand.Rand) int64 {
+	n := d.Hi - d.Lo
+	if n <= 1 {
+		return d.Lo
+	}
+	s, v := d.S, d.V
+	if s <= 1 {
+		s = 1.2
+	}
+	if v < 1 {
+		v = 1
+	}
+	z := rand.NewZipf(r, s, v, uint64(n-1))
+	return d.Lo + int64(z.Uint64())
+}
+
+// NormalDist draws rounded normal codes clamped to [Lo, Hi).
+type NormalDist struct {
+	Lo, Hi      int64
+	Mean, Sigma float64
+}
+
+// Draw implements Dist.
+func (d NormalDist) Draw(r *rand.Rand) int64 {
+	if d.Hi <= d.Lo {
+		return d.Lo
+	}
+	v := int64(math.Round(r.NormFloat64()*d.Sigma + d.Mean))
+	if v < d.Lo {
+		v = d.Lo
+	}
+	if v >= d.Hi {
+		v = d.Hi - 1
+	}
+	return v
+}
+
+// SequentialDist emits Lo, Lo+1, ... — used for surrogate keys.
+type SequentialDist struct {
+	next int64
+	Lo   int64
+}
+
+// NewSequentialDist returns a counter starting at lo.
+func NewSequentialDist(lo int64) *SequentialDist {
+	return &SequentialDist{next: lo, Lo: lo}
+}
+
+// Draw implements Dist; the RNG is ignored.
+func (d *SequentialDist) Draw(*rand.Rand) int64 {
+	v := d.next
+	d.next++
+	return v
+}

@@ -1,0 +1,199 @@
+// Package stats provides the column statistics Hydra ships from the client
+// site (equi-depth histograms and most-common-value lists, mirroring the
+// PostgreSQL metadata the demo visualizes) and the seeded random
+// distributions used by the synthetic warehouse generator.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Bucket is one equi-depth histogram bucket: Count values whose codes fall
+// in the inclusive range [Lo, Hi].
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Histogram is an equi-depth histogram over a column's coded domain.
+// Bucket ranges are tight (Lo and Hi are values actually present), sorted,
+// and non-overlapping; gaps between buckets contain no values.
+type Histogram struct {
+	Bkts []Bucket `json:"buckets"`
+}
+
+// BuildHistogram constructs an equi-depth histogram with at most buckets
+// buckets from the given codes. Equal values never straddle a bucket
+// boundary. The input slice is not modified.
+func BuildHistogram(codes []int64, buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if len(codes) == 0 {
+		return &Histogram{}
+	}
+	sorted := append([]int64(nil), codes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	h := &Histogram{}
+	n := len(sorted)
+	if buckets > n {
+		buckets = n
+	}
+	per := n / buckets
+	rem := n % buckets
+	idx := 0
+	for b := 0; b < buckets && idx < n; b++ {
+		take := per
+		if b < rem {
+			take++
+		}
+		end := idx + take
+		if end > n {
+			end = n
+		}
+		// Extend the bucket so equal values never straddle a boundary.
+		for end < n && sorted[end] == sorted[end-1] {
+			end++
+		}
+		h.Bkts = append(h.Bkts, Bucket{Lo: sorted[idx], Hi: sorted[end-1], Count: int64(end - idx)})
+		idx = end
+	}
+	return h
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.Bkts) }
+
+// Total returns the number of values the histogram summarizes.
+func (h *Histogram) Total() int64 {
+	var n int64
+	for _, b := range h.Bkts {
+		n += b.Count
+	}
+	return n
+}
+
+// Validate checks structural invariants.
+func (h *Histogram) Validate() error {
+	for i, b := range h.Bkts {
+		if b.Hi < b.Lo {
+			return fmt.Errorf("stats: bucket %d has inverted range [%d,%d]", i, b.Lo, b.Hi)
+		}
+		if b.Count < 0 {
+			return fmt.Errorf("stats: negative count in bucket %d", i)
+		}
+		if i > 0 && b.Lo <= h.Bkts[i-1].Hi {
+			return fmt.Errorf("stats: bucket %d overlaps bucket %d", i, i-1)
+		}
+	}
+	return nil
+}
+
+// EstimateRange estimates how many values fall in the coded interval,
+// assuming uniformity within buckets.
+func (h *Histogram) EstimateRange(iv value.Interval) float64 {
+	if iv.Empty() {
+		return 0
+	}
+	var est float64
+	for _, b := range h.Bkts {
+		span := value.Ival(b.Lo, b.Hi+1)
+		x := span.Intersect(iv)
+		if x.Empty() {
+			continue
+		}
+		est += float64(b.Count) * float64(x.Len()) / float64(span.Len())
+	}
+	return est
+}
+
+// MCVEntry is one most-common-value entry.
+type MCVEntry struct {
+	Code  int64 `json:"code"`
+	Count int64 `json:"count"`
+}
+
+// MCV is a most-common-values list, descending by count.
+type MCV []MCVEntry
+
+// BuildMCV returns the top-k most frequent codes, ties broken by code.
+func BuildMCV(codes []int64, k int) MCV {
+	if k <= 0 || len(codes) == 0 {
+		return nil
+	}
+	freq := make(map[int64]int64)
+	for _, c := range codes {
+		freq[c]++
+	}
+	entries := make(MCV, 0, len(freq))
+	for c, n := range freq {
+		entries = append(entries, MCVEntry{Code: c, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Code < entries[j].Code
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// ColumnStats bundles the per-column metadata shipped to the vendor.
+type ColumnStats struct {
+	Column    string     `json:"column"`
+	Distinct  int64      `json:"distinct"`
+	MinCode   int64      `json:"min_code"`
+	MaxCode   int64      `json:"max_code"`
+	Histogram *Histogram `json:"histogram,omitempty"`
+	TopValues MCV        `json:"top_values,omitempty"`
+}
+
+// BuildColumnStats computes stats from raw codes with the given histogram
+// bucket count and MCV size.
+func BuildColumnStats(column string, codes []int64, buckets, mcv int) *ColumnStats {
+	cs := &ColumnStats{Column: column}
+	if len(codes) == 0 {
+		cs.Histogram = BuildHistogram(nil, buckets)
+		return cs
+	}
+	distinct := make(map[int64]bool)
+	cs.MinCode, cs.MaxCode = codes[0], codes[0]
+	for _, c := range codes {
+		distinct[c] = true
+		if c < cs.MinCode {
+			cs.MinCode = c
+		}
+		if c > cs.MaxCode {
+			cs.MaxCode = c
+		}
+	}
+	cs.Distinct = int64(len(distinct))
+	cs.Histogram = BuildHistogram(codes, buckets)
+	cs.TopValues = BuildMCV(codes, mcv)
+	return cs
+}
+
+// TableStats holds stats for every non-key column of one table.
+type TableStats struct {
+	Table    string         `json:"table"`
+	RowCount int64          `json:"row_count"`
+	Columns  []*ColumnStats `json:"columns"`
+}
+
+// Column returns stats for the named column, or nil.
+func (ts *TableStats) Column(name string) *ColumnStats {
+	for _, c := range ts.Columns {
+		if c.Column == name {
+			return c
+		}
+	}
+	return nil
+}

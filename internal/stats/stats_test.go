@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestBuildHistogramBasic(t *testing.T) {
+	codes := []int64{5, 1, 3, 2, 4, 6, 8, 7, 9, 0}
+	h := BuildHistogram(codes, 5)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if h.Total() != int64(len(codes)) {
+		t.Errorf("Total = %d, want %d", h.Total(), len(codes))
+	}
+	if h.Buckets() != 5 {
+		t.Errorf("Buckets = %d, want 5", h.Buckets())
+	}
+}
+
+func TestBuildHistogramEmpty(t *testing.T) {
+	h := BuildHistogram(nil, 4)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if h.Total() != 0 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if est := h.EstimateRange(value.Ival(0, 100)); est != 0 {
+		t.Errorf("EstimateRange on empty = %f", est)
+	}
+}
+
+func TestBuildHistogramSkewNoStraddle(t *testing.T) {
+	// 90 copies of 5 plus ten distinct values: equal values must not
+	// straddle bucket boundaries.
+	var codes []int64
+	for i := 0; i < 90; i++ {
+		codes = append(codes, 5)
+	}
+	for i := int64(10); i < 20; i++ {
+		codes = append(codes, i)
+	}
+	h := BuildHistogram(codes, 10)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if h.Total() != 100 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// The value 5 must be fully inside one bucket: estimating its point
+	// range should return (close to) its true count.
+	if est := h.EstimateRange(value.Point(5)); est < 85 {
+		t.Errorf("EstimateRange(5) = %f, want >= 85", est)
+	}
+}
+
+func TestBuildHistogramMoreBucketsThanValues(t *testing.T) {
+	h := BuildHistogram([]int64{1, 2}, 50)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 2 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+// TestQuickHistogramTotal: histograms preserve the value count and estimate
+// the full domain to the total.
+func TestQuickHistogramTotal(t *testing.T) {
+	f := func(seed int64, buckets uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(300)
+		codes := make([]int64, n)
+		for i := range codes {
+			codes[i] = int64(r.Intn(60)) - 30
+		}
+		h := BuildHistogram(codes, int(buckets%20)+1)
+		if h.Validate() != nil {
+			return false
+		}
+		if h.Total() != int64(n) {
+			return false
+		}
+		if n == 0 {
+			return true
+		}
+		est := h.EstimateRange(value.Ival(-40, 40))
+		return est > float64(n)-1e-6 && est < float64(n)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramValidateErrors(t *testing.T) {
+	bad := []*Histogram{
+		{Bkts: []Bucket{{Lo: 3, Hi: 2, Count: 1}}},
+		{Bkts: []Bucket{{Lo: 0, Hi: 1, Count: -1}}},
+		{Bkts: []Bucket{{Lo: 0, Hi: 5, Count: 1}, {Lo: 5, Hi: 9, Count: 1}}},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid histogram", i)
+		}
+	}
+}
+
+func TestBuildMCV(t *testing.T) {
+	codes := []int64{3, 3, 3, 1, 1, 2, 9}
+	mcv := BuildMCV(codes, 2)
+	if len(mcv) != 2 || mcv[0].Code != 3 || mcv[0].Count != 3 || mcv[1].Code != 1 || mcv[1].Count != 2 {
+		t.Errorf("BuildMCV = %+v", mcv)
+	}
+	if BuildMCV(nil, 3) != nil {
+		t.Error("BuildMCV(nil) should be nil")
+	}
+	if BuildMCV(codes, 0) != nil {
+		t.Error("BuildMCV(k=0) should be nil")
+	}
+	// Ties break by code.
+	tied := BuildMCV([]int64{7, 7, 4, 4}, 2)
+	if tied[0].Code != 4 || tied[1].Code != 7 {
+		t.Errorf("tie break = %+v", tied)
+	}
+}
+
+func TestBuildColumnStats(t *testing.T) {
+	codes := []int64{10, 20, 20, 30}
+	cs := BuildColumnStats("c", codes, 4, 2)
+	if cs.Distinct != 3 || cs.MinCode != 10 || cs.MaxCode != 30 {
+		t.Errorf("ColumnStats = %+v", cs)
+	}
+	if cs.Histogram.Total() != 4 {
+		t.Errorf("histogram total = %d", cs.Histogram.Total())
+	}
+	empty := BuildColumnStats("e", nil, 4, 2)
+	if empty.Distinct != 0 || empty.Histogram == nil {
+		t.Errorf("empty ColumnStats = %+v", empty)
+	}
+}
+
+func TestTableStatsColumn(t *testing.T) {
+	ts := &TableStats{Table: "t", Columns: []*ColumnStats{{Column: "a"}, {Column: "b"}}}
+	if ts.Column("b") == nil || ts.Column("z") != nil {
+		t.Error("TableStats.Column misbehaves")
+	}
+}
+
+func TestUniformDist(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := UniformDist{Lo: 5, Hi: 10}
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := d.Draw(r)
+		if v < 5 || v >= 10 {
+			t.Fatalf("uniform draw %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("uniform covered %d values, want 5", len(seen))
+	}
+	if (UniformDist{Lo: 3, Hi: 3}).Draw(r) != 3 {
+		t.Error("degenerate uniform should return Lo")
+	}
+}
+
+func TestZipfDistSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	d := ZipfDist{Lo: 0, Hi: 1000, S: 1.3, V: 2}
+	counts := map[int64]int{}
+	for i := 0; i < 5000; i++ {
+		v := d.Draw(r)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[500] {
+		t.Errorf("zipf not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+	// Degenerate domain.
+	if (ZipfDist{Lo: 4, Hi: 5}).Draw(r) != 4 {
+		t.Error("one-point zipf should return Lo")
+	}
+	// Out-of-range parameters fall back to sane defaults.
+	dd := ZipfDist{Lo: 0, Hi: 10, S: 0.5, V: 0}
+	if v := dd.Draw(r); v < 0 || v >= 10 {
+		t.Errorf("zipf with bad params drew %d", v)
+	}
+}
+
+func TestNormalDistClamped(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	d := NormalDist{Lo: 0, Hi: 100, Mean: 50, Sigma: 200}
+	for i := 0; i < 2000; i++ {
+		v := d.Draw(r)
+		if v < 0 || v >= 100 {
+			t.Fatalf("normal draw %d escaped clamp", v)
+		}
+	}
+	if (NormalDist{Lo: 7, Hi: 7}).Draw(r) != 7 {
+		t.Error("degenerate normal should return Lo")
+	}
+}
+
+func TestSequentialDist(t *testing.T) {
+	d := NewSequentialDist(10)
+	for i := int64(10); i < 15; i++ {
+		if got := d.Draw(nil); got != i {
+			t.Fatalf("sequential = %d, want %d", got, i)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package summary
+
+import (
+	"math/bits"
+
+	"repro/internal/region"
+)
+
+// layoutOrder decides the order in which partition atoms occupy the
+// primary-key axis. The goal is the consecutive-ones property: every
+// constraint region's member atoms should sit next to each other, so the
+// region's primary-key set is one (or very few) intervals. Exact C1P
+// ordering needs PQ-trees and is not always achievable; a greedy
+// nearest-neighbour chain over membership bitsets gets close in practice:
+// starting from the atom outside every region, each step appends the
+// unplaced atom whose membership differs from the current one in the
+// fewest regions (ties broken by more shared regions, then by index, for
+// determinism).
+//
+// Empty atoms (count 0) occupy no keys, so they are appended at the end in
+// index order rather than spent on the greedy walk.
+func layoutOrder(atoms []region.SigAtom, numRegions int, counts []int64) []int {
+	n := len(atoms)
+	out := make([]int, 0, n)
+	var live []int
+	for i := 0; i < n; i++ {
+		if counts[i] > 0 {
+			live = append(live, i)
+		}
+	}
+	// Bitset signatures for the live atoms.
+	words := (numRegions + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	sig := make([][]uint64, n)
+	for _, i := range live {
+		s := make([]uint64, words)
+		for _, m := range atoms[i].Members {
+			s[m/64] |= 1 << (m % 64)
+		}
+		sig[i] = s
+	}
+
+	// Start from the atom in fewest regions (the "background"), then chain.
+	placed := make([]bool, n)
+	cur := -1
+	for _, i := range live {
+		if cur < 0 || len(atoms[i].Members) < len(atoms[cur].Members) {
+			cur = i
+		}
+	}
+	for cur >= 0 {
+		placed[cur] = true
+		out = append(out, cur)
+		next := -1
+		bestDiff, bestShare := 1<<30, -1
+		for _, j := range live {
+			if placed[j] {
+				continue
+			}
+			diff, share := 0, 0
+			for w := 0; w < words; w++ {
+				diff += bits.OnesCount64(sig[cur][w] ^ sig[j][w])
+				share += bits.OnesCount64(sig[cur][w] & sig[j][w])
+			}
+			if diff < bestDiff || (diff == bestDiff && share > bestShare) {
+				bestDiff, bestShare, next = diff, share, j
+			}
+		}
+		cur = next
+	}
+	for i := 0; i < n; i++ {
+		if counts[i] == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

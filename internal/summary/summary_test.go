@@ -1,0 +1,230 @@
+package summary
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/aqp"
+	"repro/internal/engine"
+	"repro/internal/preprocess"
+	"repro/internal/sqlkit"
+	"repro/internal/toy"
+	"repro/internal/value"
+)
+
+func buildToy(t *testing.T) (*engine.Database, *Database, *BuildReport) {
+	t.Helper()
+	db, err := toy.Database(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aqps []*aqp.AQP
+	for _, sql := range toy.Workload() {
+		q, err := sqlkit.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := engine.BuildPlan(db.Schema, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Execute(db, plan, engine.ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aqps = append(aqps, &aqp.AQP{SQL: sql, Plan: aqp.FromExec(res.Root)})
+	}
+	w, err := preprocess.Extract(db.Schema, aqps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, rep, err := Build(db.Schema, w, DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, sum, rep
+}
+
+func TestBuildToyExact(t *testing.T) {
+	db, sum, rep := buildToy(t)
+	if err := sum.Validate(); err != nil {
+		t.Fatalf("summary invalid: %v", err)
+	}
+	for _, rr := range rep.Relations {
+		if rr.SumAbsResidual != 0 {
+			t.Errorf("%s residuals: %v", rr.Table, rr.Residuals)
+		}
+	}
+	for name, rel := range sum.Relations {
+		tbl := db.Schema.Table(name)
+		if rel.Total != tbl.RowCount {
+			t.Errorf("%s total = %d, want %d", name, rel.Total, tbl.RowCount)
+		}
+		if rel.ClampedRows != 0 {
+			t.Errorf("%s clamped %d rows", name, rel.ClampedRows)
+		}
+	}
+}
+
+func TestSummaryRowsSumToTotal(t *testing.T) {
+	_, sum, _ := buildToy(t)
+	for name, rel := range sum.Relations {
+		var n int64
+		for _, row := range rel.Rows {
+			n += row.Count
+		}
+		if n != rel.Total {
+			t.Errorf("%s rows sum %d != total %d", name, n, rel.Total)
+		}
+		// The alignment index covers [0, Total) exactly once.
+		var pk int64
+		for _, atom := range rel.Atoms {
+			for _, iv := range atom.PK {
+				if iv.Lo != pk {
+					t.Errorf("%s alignment gap at %d", name, pk)
+				}
+				pk = iv.Hi
+			}
+		}
+		if pk != rel.Total {
+			t.Errorf("%s alignment covers %d of %d", name, pk, rel.Total)
+		}
+	}
+}
+
+func TestFKSpecsWithinReferencedRange(t *testing.T) {
+	_, sum, _ := buildToy(t)
+	rel := sum.Relations["r"]
+	tbl := sum.Schema.Table("r")
+	for _, row := range rel.Rows {
+		for _, sp := range row.Specs {
+			col := tbl.Columns[sp.Col]
+			if col.Ref == nil {
+				continue
+			}
+			refTotal := sum.Relations[col.Ref.Table].Total
+			set := sp.Set
+			if sp.Fixed != nil {
+				set = value.NewIntervalSet(value.Point(*sp.Fixed))
+			}
+			for _, iv := range set {
+				if iv.Lo < 0 || iv.Hi > refTotal {
+					t.Errorf("fk spec %v exceeds [0,%d)", set, refTotal)
+				}
+			}
+		}
+	}
+}
+
+func TestGobJSONRoundTrip(t *testing.T) {
+	_, sum, _ := buildToy(t)
+	var jbuf bytes.Buffer
+	if err := sum.EncodeJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&jbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("JSON round trip invalid: %v", err)
+	}
+	if back.Relations["r"].Total != sum.Relations["r"].Total {
+		t.Error("JSON round trip lost totals")
+	}
+
+	var gbuf bytes.Buffer
+	if err := sum.EncodeGob(&gbuf); err != nil {
+		t.Fatal(err)
+	}
+	gback, err := DecodeGob(&gbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gback.Relations["s"].Total != sum.Relations["s"].Total {
+		t.Error("gob round trip lost totals")
+	}
+	n, err := sum.Size()
+	if err != nil || n <= 0 {
+		t.Errorf("Size = %d, %v", n, err)
+	}
+	if n > 1<<20 {
+		t.Errorf("toy summary is %d bytes — not minuscule", n)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	_, sum, _ := buildToy(t)
+	sum.Relations["r"].Rows[0].Count = -1
+	if err := sum.Validate(); err == nil {
+		t.Error("negative count accepted")
+	}
+	_, sum, _ = buildToy(t)
+	sum.Relations["r"].Total++
+	if err := sum.Validate(); err == nil {
+		t.Error("total mismatch accepted")
+	}
+	_, sum, _ = buildToy(t)
+	sum.Relations["ghost"] = &Relation{Table: "ghost"}
+	if err := sum.Validate(); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+func TestTotalOverride(t *testing.T) {
+	db, err := toy.Database(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := preprocess.NewWorkload()
+	opts := DefaultBuildOptions()
+	opts.TotalOverride = map[string]int64{"r": 123}
+	sum, _, err := Build(db.Schema, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Relations["r"].Total != 123 {
+		t.Errorf("override total = %d", sum.Relations["r"].Total)
+	}
+}
+
+func TestForceTotal(t *testing.T) {
+	counts := []int64{5, 10, 2}
+	forceTotal(counts, 20)
+	if counts[0]+counts[1]+counts[2] != 20 {
+		t.Errorf("forceTotal add: %v", counts)
+	}
+	forceTotal(counts, 4)
+	if counts[0]+counts[1]+counts[2] != 4 {
+		t.Errorf("forceTotal remove: %v", counts)
+	}
+	zero := []int64{0, 0}
+	forceTotal(zero, 0)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("forceTotal zero: %v", zero)
+	}
+}
+
+func TestPKPredicateRejected(t *testing.T) {
+	db, err := toy.Database(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT COUNT(*) FROM s WHERE s_pk < 10"
+	q, _ := sqlkit.Parse(sql)
+	plan, err := engine.BuildPlan(db.Schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Execute(db, plan, engine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := preprocess.Extract(db.Schema, []*aqp.AQP{{SQL: sql, Plan: aqp.FromExec(res.Root)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Build(db.Schema, w, DefaultBuildOptions()); err == nil {
+		t.Error("primary-key predicate accepted")
+	}
+}

@@ -1,0 +1,103 @@
+// Package toy builds the three-table example of Figure 1 in the paper:
+//
+//	R (R_pk, S_fk, T_fk)    S (S_pk, A, B)    T (T_pk, C)
+//
+// with the sample query
+//
+//	SELECT * FROM R, S, T
+//	WHERE R.S_fk = S.S_pk AND R.T_fk = T.T_pk
+//	  AND S.A >= 20 AND S.A < 60 AND T.C >= 2 AND T.C < 3
+//
+// It is used by the quickstart example and by integration tests that need a
+// small, fully understood scenario.
+package toy
+
+import (
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+)
+
+// Sizes of the toy relations.
+const (
+	RRows = 10_000
+	SRows = 500
+	TRows = 100
+)
+
+// Query is the paper's Figure 1(b) example query.
+const Query = "SELECT * FROM r, s, t WHERE r.s_fk = s.s_pk AND r.t_fk = t.t_pk AND s.a >= 20 AND s.a < 60 AND t.c >= 2 AND t.c < 3"
+
+// Schema returns the Figure 1(a) schema.
+func Schema() *schema.Schema {
+	return &schema.Schema{Tables: []*schema.Table{
+		{
+			Name:     "s",
+			RowCount: SRows,
+			Columns: []*schema.Column{
+				{Name: "s_pk", Type: schema.Int, PrimaryKey: true, DomainLo: 0, DomainHi: SRows},
+				{Name: "a", Type: schema.Int, DomainLo: 0, DomainHi: 100},
+				{Name: "b", Type: schema.Int, DomainLo: 0, DomainHi: 1000},
+			},
+		},
+		{
+			Name:     "t",
+			RowCount: TRows,
+			Columns: []*schema.Column{
+				{Name: "t_pk", Type: schema.Int, PrimaryKey: true, DomainLo: 0, DomainHi: TRows},
+				{Name: "c", Type: schema.Int, DomainLo: 0, DomainHi: 10},
+			},
+		},
+		{
+			Name:     "r",
+			RowCount: RRows,
+			Columns: []*schema.Column{
+				{Name: "r_pk", Type: schema.Int, PrimaryKey: true, DomainLo: 0, DomainHi: RRows},
+				{Name: "s_fk", Type: schema.Int, Ref: &schema.ForeignKey{Table: "s", Column: "s_pk"}, DomainLo: 0, DomainHi: SRows},
+				{Name: "t_fk", Type: schema.Int, Ref: &schema.ForeignKey{Table: "t", Column: "t_pk"}, DomainLo: 0, DomainHi: TRows},
+			},
+		},
+	}}
+}
+
+// Database generates a seeded toy client database.
+func Database(seed int64) (*engine.Database, error) {
+	s := Schema()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	db := engine.NewDatabase(s)
+
+	sRel := &engine.Relation{Table: s.Table("s")}
+	for i := int64(0); i < SRows; i++ {
+		sRel.Rows = append(sRel.Rows, []int64{i, r.Int63n(100), r.Int63n(1000)})
+	}
+	tRel := &engine.Relation{Table: s.Table("t")}
+	for i := int64(0); i < TRows; i++ {
+		tRel.Rows = append(tRel.Rows, []int64{i, r.Int63n(10)})
+	}
+	rRel := &engine.Relation{Table: s.Table("r")}
+	for i := int64(0); i < RRows; i++ {
+		rRel.Rows = append(rRel.Rows, []int64{i, r.Int63n(SRows), r.Int63n(TRows)})
+	}
+	for _, rel := range []*engine.Relation{sRel, tRel, rRel} {
+		if err := db.AddRelation(rel); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Workload returns a small workload exercising filters and both joins.
+func Workload() []string {
+	return []string{
+		Query,
+		"SELECT COUNT(*) FROM s WHERE a >= 20 AND a < 60",
+		"SELECT COUNT(*) FROM t WHERE c >= 2 AND c < 3",
+		"SELECT COUNT(*) FROM r, s WHERE r.s_fk = s.s_pk AND s.a < 50",
+		"SELECT COUNT(*) FROM r, t WHERE r.t_fk = t.t_pk AND t.c IN (1, 3, 5)",
+		"SELECT COUNT(*) FROM s WHERE b BETWEEN 100 AND 499",
+	}
+}

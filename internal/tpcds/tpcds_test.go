@@ -1,0 +1,132 @@
+package tpcds
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlkit"
+)
+
+func TestSchemaValidates(t *testing.T) {
+	for _, sf := range []float64{0.1, 1, 4} {
+		s := Schema(sf)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("sf=%v: %v", sf, err)
+		}
+	}
+}
+
+func TestSchemaScales(t *testing.T) {
+	small, big := Schema(1), Schema(2)
+	if big.Table("store_sales").RowCount != 2*small.Table("store_sales").RowCount {
+		t.Error("fact table did not scale")
+	}
+	if big.Table("date_dim").RowCount != small.Table("date_dim").RowCount {
+		t.Error("the calendar should not scale")
+	}
+	// Key domains follow the row counts.
+	if big.Table("item").Column("i_item_sk").DomainHi != big.Table("item").RowCount {
+		t.Error("pk domain out of sync")
+	}
+	if big.Table("store_sales").Column("ss_item_sk").DomainHi != big.Table("item").RowCount {
+		t.Error("fk domain out of sync")
+	}
+}
+
+func TestGenerateDatabase(t *testing.T) {
+	s := Schema(0.1)
+	db, err := GenerateDatabase(s, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range s.Tables {
+		rel := db.Relation(tbl.Name)
+		if rel == nil || int64(len(rel.Rows)) != tbl.RowCount {
+			t.Fatalf("%s has %d rows, want %d", tbl.Name, len(rel.Rows), tbl.RowCount)
+		}
+		for ci, col := range tbl.Columns {
+			for _, row := range rel.Rows {
+				if row[ci] < col.DomainLo || row[ci] >= col.DomainHi {
+					t.Fatalf("%s.%s code %d outside [%d,%d)", tbl.Name, col.Name, row[ci], col.DomainLo, col.DomainHi)
+				}
+			}
+		}
+	}
+	// Foreign keys reference existing primary keys (sequential 0..n-1).
+	fact := db.Relation("store_sales")
+	nItem := s.Table("item").RowCount
+	for _, row := range fact.Rows {
+		if row[2] < 0 || row[2] >= nItem {
+			t.Fatalf("dangling ss_item_sk %d", row[2])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Schema(0.1)
+	a, err := GenerateDatabase(s, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDatabase(Schema(0.1), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Relation("item").Rows, b.Relation("item").Rows
+	for i := range ra {
+		for j := range ra[i] {
+			if ra[i][j] != rb[i][j] {
+				t.Fatalf("row %d differs across equal seeds", i)
+			}
+		}
+	}
+}
+
+func TestWorkloadDistinctAndParseable(t *testing.T) {
+	s := Schema(1)
+	queries := Workload(131, 11)
+	if len(queries) != 131 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	seen := map[string]bool{}
+	for _, sql := range queries {
+		if seen[sql] {
+			t.Fatalf("duplicate query: %s", sql)
+		}
+		seen[sql] = true
+		q, err := sqlkit.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		if !q.CountStar {
+			t.Errorf("workload query is not COUNT(*): %s", sql)
+		}
+		for _, name := range q.Tables {
+			if s.Table(name) == nil {
+				t.Errorf("query references unknown table %s", name)
+			}
+		}
+	}
+	// The workload must exercise joins and single-table scans.
+	joins, singles := 0, 0
+	for _, sql := range queries {
+		if strings.Contains(sql, ",") && strings.Contains(sql, "_sk = ") {
+			joins++
+		} else {
+			singles++
+		}
+	}
+	if joins == 0 || singles == 0 {
+		t.Errorf("workload mix: joins=%d singles=%d", joins, singles)
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	a := Workload(50, 3)
+	b := Workload(50, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package tpcds
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload deterministically generates n distinct SPJ queries over the
+// warehouse. Like the real TPC-DS query set, the workload spreads over many
+// templates, each touching a small, different subset of attributes, with
+// parameters drawn from small discrete grids (the templates' "bind
+// variables"). With the default n of 131 it plays the role of the paper's
+// 131-query TPC-DS workload.
+//
+// The attribute sparsity matters for any workload-dependent regenerator:
+// the size of the minimum-variable LP grows with the number of distinct
+// overlap patterns among constraint regions, and real analytic workloads
+// keep that density moderate by querying many different column subsets.
+func Workload(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	var out []string
+	templates := []func(*rand.Rand) string{
+		qFactQty,
+		qItemOnly,
+		qCustomerOnly,
+		qSalesItemCat,
+		qSalesDateYear,
+		qSalesCustBirth,
+		qSalesStorePromo,
+		qSalesItemDate,
+		qSalesItemCust,
+		qFactWholesale,
+		qItemClass,
+		qSalesItemBrand,
+		qSalesItemMgr,
+		qSalesDateQoy,
+		qSalesDateMoy,
+		qSalesCustState,
+		qSalesStoreFloor,
+		qSalesPromoTarget,
+		qSalesDateCust,
+	}
+	// Round-robin over templates, advancing on every attempt: templates
+	// with small parameter spaces exhaust their distinct instances and the
+	// richer ones fill the remainder.
+	for attempt := 0; len(out) < n; attempt++ {
+		q := templates[attempt%len(templates)](r)
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		out = append(out, q)
+	}
+	return out
+}
+
+// Discrete parameter grids (the "bind variables" of the query templates).
+var (
+	quantityCuts  = []int{20, 40, 60, 80}
+	priceCuts     = []int{2500, 5000, 10000, 15000}
+	wholesaleCuts = []int{2000, 4000, 6000, 8000}
+	managerCuts   = []int{20, 40, 60, 80}
+	birthCuts     = []int{1940, 1955, 1970, 1985}
+	floorCuts     = []int{3000, 5000, 7000}
+	targetCuts    = []int{2, 5, 8}
+)
+
+func pickInt(r *rand.Rand, vals []int) int    { return vals[r.Intn(len(vals))] }
+func pick(r *rand.Rand, vals []string) string { return vals[r.Intn(len(vals))] }
+func rangeOf(r *rand.Rand, cuts []int) (lo, hi int) {
+	i := r.Intn(len(cuts) - 1)
+	j := i + 1 + r.Intn(len(cuts)-i-1)
+	return cuts[i], cuts[j]
+}
+
+func qFactQty(r *rand.Rand) string {
+	qlo, qhi := rangeOf(r, quantityCuts)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN %d AND %d AND ss_sales_price < %d.00",
+		qlo, qhi, pickInt(r, priceCuts))
+}
+
+func qFactWholesale(r *rand.Rand) string {
+	wlo, whi := rangeOf(r, wholesaleCuts)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales WHERE ss_wholesale_cost >= %d.00 AND ss_wholesale_cost < %d.00",
+		wlo, whi)
+}
+
+func qItemOnly(r *rand.Rand) string {
+	mlo, mhi := rangeOf(r, managerCuts)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM item WHERE i_category = '%s' AND i_manager_id BETWEEN %d AND %d",
+		pick(r, categories), mlo, mhi)
+}
+
+func qItemClass(r *rand.Rand) string {
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM item WHERE i_class IN ('class_%03d', 'class_%03d') AND i_current_price < %d.00",
+		r.Intn(30), r.Intn(30), 100*pickInt(r, priceCuts))
+}
+
+func qCustomerOnly(r *rand.Rand) string {
+	blo, bhi := rangeOf(r, birthCuts)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM customer WHERE c_birth_year >= %d AND c_birth_year < %d AND c_state IN ('%s', '%s')",
+		blo, bhi, pick(r, states), pick(r, states))
+}
+
+func qSalesItemCat(r *rand.Rand) string {
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk AND i_category = '%s'",
+		pick(r, categories))
+}
+
+func qSalesItemBrand(r *rand.Rand) string {
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk AND i_brand IN ('brand_%03d', 'brand_%03d', 'brand_%03d')",
+		r.Intn(50), r.Intn(50), r.Intn(50))
+}
+
+func qSalesItemMgr(r *rand.Rand) string {
+	mlo, mhi := rangeOf(r, managerCuts)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk AND i_manager_id >= %d AND i_manager_id < %d",
+		mlo, mhi)
+}
+
+func qSalesDateYear(r *rand.Rand) string {
+	ylo := 1998 + r.Intn(5)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk AND d_year >= %d AND d_year < %d",
+		ylo, ylo+1+r.Intn(2))
+}
+
+func qSalesDateQoy(r *rand.Rand) string {
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk AND d_qoy = %d",
+		1+r.Intn(4))
+}
+
+func qSalesDateMoy(r *rand.Rand) string {
+	mlo := 1 + 2*r.Intn(5)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk AND d_moy BETWEEN %d AND %d AND d_dom < %d",
+		mlo, mlo+1+r.Intn(3), 10+5*r.Intn(3))
+}
+
+func qSalesCustBirth(r *rand.Rand) string {
+	blo, bhi := rangeOf(r, birthCuts)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, customer WHERE ss_customer_sk = c_customer_sk AND c_birth_year BETWEEN %d AND %d",
+		blo, bhi)
+}
+
+func qSalesCustState(r *rand.Rand) string {
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, customer WHERE ss_customer_sk = c_customer_sk AND c_state = '%s' AND c_gender = '%s'",
+		pick(r, states), pick(r, genders))
+}
+
+func qSalesStorePromo(r *rand.Rand) string {
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, store, promotion WHERE ss_store_sk = s_store_sk AND ss_promo_sk = p_promo_sk AND s_state IN ('%s', '%s') AND p_channel_email = '%s'",
+		pick(r, states), pick(r, states), pick(r, channels))
+}
+
+func qSalesStoreFloor(r *rand.Rand) string {
+	flo, fhi := rangeOf(r, floorCuts)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, store WHERE ss_store_sk = s_store_sk AND s_floor_space >= %d AND s_floor_space < %d",
+		flo, fhi)
+}
+
+func qSalesPromoTarget(r *rand.Rand) string {
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, promotion WHERE ss_promo_sk = p_promo_sk AND p_response_target >= %d",
+		pickInt(r, targetCuts))
+}
+
+func qSalesItemDate(r *rand.Rand) string {
+	ylo := 1998 + r.Intn(5)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, item, date_dim WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND i_category = '%s' AND d_year = %d AND ss_quantity < %d",
+		pick(r, categories), ylo, pickInt(r, quantityCuts))
+}
+
+func qSalesItemCust(r *rand.Rand) string {
+	mlo, mhi := rangeOf(r, managerCuts)
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, item, customer WHERE ss_item_sk = i_item_sk AND ss_customer_sk = c_customer_sk AND i_manager_id BETWEEN %d AND %d AND c_birth_year >= %d",
+		mlo, mhi, pickInt(r, birthCuts))
+}
+
+func qSalesDateCust(r *rand.Rand) string {
+	return fmt.Sprintf(
+		"SELECT COUNT(*) FROM store_sales, date_dim, customer WHERE ss_sold_date_sk = d_date_sk AND ss_customer_sk = c_customer_sk AND d_year = %d AND c_gender = '%s' AND c_salutation = '%s'",
+		1998+r.Intn(6), pick(r, genders), pick(r, salutations))
+}

@@ -1,0 +1,222 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Ival(2, 5)
+	if iv.Empty() || iv.Len() != 3 {
+		t.Errorf("Ival(2,5): empty=%v len=%d", iv.Empty(), iv.Len())
+	}
+	if !iv.Contains(2) || !iv.Contains(4) || iv.Contains(5) || iv.Contains(1) {
+		t.Error("Contains misbehaves on [2,5)")
+	}
+	if !Ival(5, 5).Empty() || !Ival(6, 5).Empty() {
+		t.Error("degenerate intervals should be empty")
+	}
+	if Point(3) != Ival(3, 4) {
+		t.Error("Point(3) != [3,4)")
+	}
+	if Ival(0, 3).String() != "[0,3)" {
+		t.Errorf("String: %s", Ival(0, 3))
+	}
+}
+
+func TestIntervalSetOps(t *testing.T) {
+	a := NewIntervalSet(Ival(0, 5), Ival(10, 15))
+	b := NewIntervalSet(Ival(3, 12))
+
+	if got := a.Intersect(b); !got.Equal(NewIntervalSet(Ival(3, 5), Ival(10, 12))) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); !got.Equal(NewIntervalSet(Ival(0, 15))) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Subtract(b); !got.Equal(NewIntervalSet(Ival(0, 3), Ival(12, 15))) {
+		t.Errorf("Subtract = %v", got)
+	}
+	if !a.ContainsSet(NewIntervalSet(Ival(1, 2), Ival(11, 12))) {
+		t.Error("ContainsSet should hold")
+	}
+	if a.ContainsSet(b) {
+		t.Error("ContainsSet should fail for overlapping set")
+	}
+}
+
+func TestNormalizeMergesAdjacent(t *testing.T) {
+	s := NewIntervalSet(Ival(0, 2), Ival(2, 4), Ival(6, 7), Ival(5, 6))
+	want := NewIntervalSet(Ival(0, 4), Ival(5, 7))
+	if !s.Equal(want) {
+		t.Errorf("Normalize = %v, want %v", s, want)
+	}
+	if NewIntervalSet(Ival(3, 3)).Len() != 0 {
+		t.Error("empty interval should vanish")
+	}
+}
+
+func TestIntervalSetContainsAndAt(t *testing.T) {
+	s := NewIntervalSet(Ival(2, 4), Ival(10, 13))
+	wantPoints := []int64{2, 3, 10, 11, 12}
+	if s.Len() != int64(len(wantPoints)) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i, p := range wantPoints {
+		if s.At(int64(i)) != p {
+			t.Errorf("At(%d) = %d, want %d", i, s.At(int64(i)), p)
+		}
+		if !s.Contains(p) {
+			t.Errorf("Contains(%d) = false", p)
+		}
+	}
+	for _, p := range []int64{1, 4, 9, 13, 100} {
+		if s.Contains(p) {
+			t.Errorf("Contains(%d) = true", p)
+		}
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewIntervalSet(Ival(0, 2)).At(2)
+}
+
+func TestIntervalSubtract(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want []Interval
+	}{
+		{Ival(0, 10), Ival(3, 5), []Interval{Ival(0, 3), Ival(5, 10)}},
+		{Ival(0, 10), Ival(0, 10), nil},
+		{Ival(0, 10), Ival(10, 20), []Interval{Ival(0, 10)}},
+		{Ival(0, 10), Ival(-5, 5), []Interval{Ival(5, 10)}},
+		{Ival(0, 10), Ival(5, 15), []Interval{Ival(0, 5)}},
+	}
+	for _, c := range cases {
+		got := c.a.Subtract(c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("%v - %v = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v - %v = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+// randSet builds a small random canonical set for property tests.
+func randSet(r *rand.Rand) IntervalSet {
+	n := r.Intn(4)
+	var ivs []Interval
+	for i := 0; i < n; i++ {
+		lo := int64(r.Intn(40))
+		ivs = append(ivs, Ival(lo, lo+int64(r.Intn(10))))
+	}
+	return NewIntervalSet(ivs...)
+}
+
+// TestQuickSetAlgebra checks, pointwise over a small universe, that the set
+// operations agree with boolean logic.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r), randSet(r)
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		diff := a.Subtract(b)
+		for p := int64(-2); p < 55; p++ {
+			ina, inb := a.Contains(p), b.Contains(p)
+			if union.Contains(p) != (ina || inb) {
+				return false
+			}
+			if inter.Contains(p) != (ina && inb) {
+				return false
+			}
+			if diff.Contains(p) != (ina && !inb) {
+				return false
+			}
+		}
+		// Cardinality identity: |A| + |B| = |A∪B| + |A∩B|.
+		return a.Len()+b.Len() == union.Len()+inter.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNormalizeCanonical verifies that normalized sets are sorted,
+// non-empty, non-adjacent, and idempotent under Normalize.
+func TestQuickNormalizeCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randSet(r)
+		for i, iv := range s {
+			if iv.Empty() {
+				return false
+			}
+			if i > 0 && s[i-1].Hi >= iv.Lo {
+				return false // overlap or adjacency survived
+			}
+		}
+		return s.Normalize().Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAtEnumerates verifies At(i) enumerates exactly the member points
+// in order.
+func TestQuickAtEnumerates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randSet(r)
+		var pts []int64
+		for p := int64(0); p < 60; p++ {
+			if s.Contains(p) {
+				pts = append(pts, p)
+			}
+		}
+		if int64(len(pts)) != s.Len() {
+			return false
+		}
+		for i, p := range pts {
+			if s.At(int64(i)) != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewIntervalSet(Ival(0, 5))
+	c := s.Clone()
+	c[0].Hi = 100
+	if s[0].Hi != 5 {
+		t.Error("Clone shares storage")
+	}
+	if IntervalSet(nil).Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+}
+
+func TestIntervalSetString(t *testing.T) {
+	if got := (IntervalSet{}).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := NewIntervalSet(Ival(1, 2), Ival(5, 9)).String(); got != "{[1,2),[5,9)}" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/aqp"
+	"repro/internal/core"
+	"repro/internal/summary"
+	"repro/internal/toy"
+)
+
+func toyReport(t *testing.T) *Report {
+	t.Helper()
+	db, err := toy.Database(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := core.CaptureClient(db, toy.Workload(), core.CaptureOptions{SkipStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _, err := core.BuildFromPackage(pkg, summary.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(core.RegenDatabase(sum, 0), pkg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestVerifyToyExact(t *testing.T) {
+	rep := toyReport(t)
+	if len(rep.Queries) != len(toy.Workload()) {
+		t.Fatalf("queries = %d", len(rep.Queries))
+	}
+	if got := rep.SatisfiedWithin(0); got != 1 {
+		t.Errorf("exact satisfaction = %v", got)
+	}
+	if rep.MeanRelErr() != 0 {
+		t.Errorf("mean rel err = %v", rep.MeanRelErr())
+	}
+	max, hasInf := rep.MaxRelErr()
+	if max != 0 || hasInf {
+		t.Errorf("max = %v inf = %v", max, hasInf)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	rep := toyReport(t)
+	pts := rep.CDF(nil)
+	if len(pts) != len(DefaultEpsGrid) {
+		t.Fatalf("cdf points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Fraction < pts[i-1].Fraction {
+			t.Error("CDF not monotone")
+		}
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	rep := &Report{Edges: []aqp.EdgeDiff{
+		{Path: "a", Expected: 100, Actual: 100, RelErr: 0},
+		{Path: "b", Expected: 100, Actual: 90, RelErr: 0.1},
+		{Path: "c", Expected: 0, Actual: 5, RelErr: math.Inf(1)},
+	}}
+	if got := rep.SatisfiedWithin(0.05); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("SatisfiedWithin = %v", got)
+	}
+	max, hasInf := rep.MaxRelErr()
+	if max != 0.1 || !hasInf {
+		t.Errorf("MaxRelErr = %v, %v", max, hasInf)
+	}
+	if got := rep.MeanRelErr(); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("MeanRelErr = %v", got)
+	}
+	worst := rep.WorstEdges(2)
+	if len(worst) != 2 || worst[0].Path != "c" || worst[1].Path != "b" {
+		t.Errorf("WorstEdges = %+v", worst)
+	}
+	if got := len(rep.WorstEdges(10)); got != 3 {
+		t.Errorf("WorstEdges(10) = %d", got)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	rep := &Report{}
+	if rep.SatisfiedWithin(0) != 1 {
+		t.Error("empty report should be fully satisfied")
+	}
+	if rep.MeanRelErr() != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestVerifyBadQuery(t *testing.T) {
+	db, err := toy.Database(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Verify(db, []*aqp.AQP{{SQL: "garbage", Plan: &aqp.Node{Op: "SCAN", Table: "s"}}})
+	if err == nil {
+		t.Error("bad SQL accepted")
+	}
+}

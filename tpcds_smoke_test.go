@@ -1,0 +1,40 @@
+package hydra
+
+import (
+	"testing"
+
+	"repro/internal/tpcds"
+)
+
+func TestEndToEndTPCDSSmoke(t *testing.T) {
+	s := tpcds.Schema(0.2)
+	db, err := tpcds.GenerateDatabase(s, 7)
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	queries := tpcds.Workload(40, 11)
+	pkg, err := Capture(db, queries, CaptureOptions{SkipStats: true})
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	sum, rep, err := Build(pkg, DefaultBuildOptions())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	t.Logf("build time %v, summary %d bytes, LP vars %d", rep.TotalTime, rep.SummaryBytes, rep.TotalLPVars())
+	for _, rr := range rep.Relations {
+		t.Logf("rel %s: cons=%d regions=%d vars=%d pivots=%d maxres=%d sumres=%d solve=%v", rr.Table, rr.Constraints, rr.Regions, rr.LPVars, rr.Pivots, rr.MaxAbsResidual, rr.SumAbsResidual, rr.SolveTime)
+	}
+	regen := Regen(sum, 0)
+	vrep, err := Verify(regen, pkg.Workload)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	t.Logf("satisfied exact=%.3f within10%%=%.3f mean=%.5f", vrep.SatisfiedWithin(0), vrep.SatisfiedWithin(0.1), vrep.MeanRelErr())
+	for _, e := range vrep.WorstEdges(8) {
+		t.Logf("worst %s expected=%d actual=%d rel=%.4f", e.Path, e.Expected, e.Actual, e.RelErr)
+	}
+	if vrep.SatisfiedWithin(0.1) < 0.9 {
+		t.Errorf("satisfaction within 10%% = %.3f, want >= 0.9", vrep.SatisfiedWithin(0.1))
+	}
+}
