@@ -1,0 +1,122 @@
+package hydra
+
+// End-to-end parity of the batched execution path: over the toy and
+// TPC-DS-like workloads, dataless batched execution must return results
+// byte-identical to (a) the row-at-a-time reference path and (b)
+// materialized execution — same rows, counts, samples, and per-operator
+// cardinalities. This is the contract that lets Execute default to batches
+// while ExecuteRows stays the executable specification.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqlkit"
+	"repro/internal/toy"
+	"repro/internal/tpcds"
+)
+
+func execWith(t *testing.T, db *engine.Database, sql string, opts engine.ExecOptions,
+	f func(*engine.Database, *engine.Plan, engine.ExecOptions) (*engine.ExecResult, error)) *engine.ExecResult {
+	t.Helper()
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	plan, err := engine.BuildPlan(db.Schema, q)
+	if err != nil {
+		t.Fatalf("plan %q: %v", sql, err)
+	}
+	res, err := f(db, plan, opts)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+func sameResult(t *testing.T, label string, got, want *engine.ExecResult) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Count != want.Count {
+		t.Fatalf("%s: rows/count = %d/%d, want %d/%d", label, got.Rows, got.Count, want.Rows, want.Count)
+	}
+	if !reflect.DeepEqual(got.Sample, want.Sample) {
+		t.Fatalf("%s: samples differ:\n got %v\nwant %v", label, got.Sample, want.Sample)
+	}
+	sameNode(t, label, got.Root, want.Root)
+}
+
+func sameNode(t *testing.T, label string, got, want *engine.ExecNode) {
+	t.Helper()
+	if got.Op != want.Op || got.Table != want.Table || got.OutRows != want.OutRows {
+		t.Fatalf("%s: node %s/%s out=%d, want %s/%s out=%d",
+			label, got.Op, got.Table, got.OutRows, want.Op, want.Table, want.OutRows)
+	}
+	if len(got.Children) != len(want.Children) {
+		t.Fatalf("%s: %s children = %d, want %d", label, got.Op, len(got.Children), len(want.Children))
+	}
+	for i := range want.Children {
+		sameNode(t, label, got.Children[i], want.Children[i])
+	}
+}
+
+// checkWorkloadParity builds a summary from the package, then runs every
+// workload query three ways — dataless batched, dataless row-at-a-time,
+// and materialized batched — and requires identical results. Small batch
+// sizes force batch-boundary edge cases through every operator.
+func checkWorkloadParity(t *testing.T, pkg *TransferPackage, queries []string) {
+	t.Helper()
+	sum, _, err := Build(pkg, DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regen := Regen(sum, 0)
+	mat, err := Materialize(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{0, 3} {
+		opts := engine.ExecOptions{SampleLimit: 5, BatchSize: size}
+		for _, sql := range queries {
+			batched := execWith(t, regen, sql, opts, engine.Execute)
+			rows := execWith(t, regen, sql, opts, engine.ExecuteRows)
+			sameResult(t, sql, batched, rows)
+			matBatched := execWith(t, mat, sql, opts, engine.Execute)
+			matRows := execWith(t, mat, sql, opts, engine.ExecuteRows)
+			sameResult(t, sql+" [materialized]", matBatched, matRows)
+			// Dataless and materialized execution see the same tuples, so
+			// their results (not just counts) must coincide too.
+			sameResult(t, sql+" [dataless vs materialized]", batched, matBatched)
+		}
+	}
+}
+
+func TestBatchParityToyWorkload(t *testing.T) {
+	db, err := toy.Database(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := core.CaptureClient(db, toy.Workload(), core.CaptureOptions{SkipStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWorkloadParity(t, pkg, toy.Workload())
+}
+
+func TestBatchParityTPCDSWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload parity")
+	}
+	s := tpcds.Schema(0.25)
+	db, err := tpcds.GenerateDatabase(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := tpcds.Workload(40, 11)
+	pkg, err := core.CaptureClient(db, queries, core.CaptureOptions{SkipStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWorkloadParity(t, pkg, queries)
+}

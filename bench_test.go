@@ -14,7 +14,9 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/sqlkit"
 )
 
 // benchConfig keeps the benchmark workload moderate so -bench=. completes
@@ -148,6 +150,24 @@ func BenchmarkGenerateRows(b *testing.B) {
 	_ = n
 }
 
+// BenchmarkGenerateBatches measures tuple-generation throughput on the
+// batched path (Stream.NextBatch); ns/op is amortized per generated row.
+func BenchmarkGenerateBatches(b *testing.B) {
+	cfg := benchConfig()
+	_, sum := mustBuild(b, cfg)
+	stream := Stream(sum, "store_sales")
+	dst := NewBatch(stream.Cols(), 0)
+	b.ResetTimer()
+	var n int64
+	for n < int64(b.N) {
+		if !stream.NextBatch(dst) {
+			stream = Stream(sum, "store_sales")
+			continue
+		}
+		n += int64(dst.Len())
+	}
+}
+
 // BenchmarkDatalessQuery measures end-to-end dataless query execution.
 func BenchmarkDatalessQuery(b *testing.B) {
 	cfg := benchConfig()
@@ -160,6 +180,51 @@ func BenchmarkDatalessQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = rep
+	}
+}
+
+// BenchmarkDatalessQueryRowAtATime runs the same query through the
+// row-at-a-time reference executor, quantifying what batching buys.
+func BenchmarkDatalessQueryRowAtATime(b *testing.B) {
+	cfg := benchConfig()
+	pkg, sum := mustBuild(b, cfg)
+	db := Regen(sum, 0)
+	q, err := sqlkit.Parse(pkg.Workload[0].SQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := engine.BuildPlan(db.Schema, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.ExecuteRows(db, plan, engine.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatalessJoinQuery measures a dataless fact-dimension hash join
+// through the batched executor (arena build, per-batch accounting).
+func BenchmarkDatalessJoinQuery(b *testing.B) {
+	cfg := benchConfig()
+	_, sum := mustBuild(b, cfg)
+	db := Regen(sum, 0)
+	const sql = "SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk AND i_category = 'Music'"
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := engine.BuildPlan(db.Schema, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Execute(db, plan, engine.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/generator"
+	"repro/internal/sqlkit"
+	"repro/internal/summary"
+	"repro/internal/tpcds"
+)
+
+// BenchRow is one machine-readable benchmark measurement, the row format
+// of "hydra bench -json". Future sessions append these to BENCH_*.json
+// files to track the performance trajectory across PRs.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func row(name string, r testing.BenchmarkResult, rowsPerOp float64) BenchRow {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	out := BenchRow{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if rowsPerOp > 0 && ns > 0 {
+		out.RowsPerSec = rowsPerOp * 1e9 / ns
+	}
+	return out
+}
+
+// runJSONBench captures a workload, builds its summary, and emits one JSON
+// line per micro-benchmark: raw generation (row and batch paths) and
+// dataless query execution (batched and row-at-a-time executors).
+func runJSONBench(w io.Writer, cfg experiments.Config) error {
+	s := tpcds.Schema(cfg.ScaleFactor)
+	db, err := tpcds.GenerateDatabase(s, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	pkg, err := core.CaptureClient(db, tpcds.Workload(cfg.Queries, cfg.Seed+4), core.CaptureOptions{SkipStats: true})
+	if err != nil {
+		return err
+	}
+	sum, _, err := core.BuildFromPackage(pkg, summary.DefaultBuildOptions())
+	if err != nil {
+		return err
+	}
+	const genTable = "store_sales"
+	t := sum.Schema.Table(genTable)
+	rel := sum.Relations[genTable]
+	if t == nil || rel == nil {
+		return fmt.Errorf("bench: summary has no %s relation", genTable)
+	}
+
+	var rows []BenchRow
+
+	genRows := testing.Benchmark(func(b *testing.B) {
+		stream := generator.NewStream(t, rel)
+		for i := 0; i < b.N; i++ {
+			if _, ok := stream.Next(); !ok {
+				stream = generator.NewStream(t, rel)
+			}
+		}
+	})
+	rows = append(rows, row("generate_rows", genRows, 1))
+
+	genBatches := testing.Benchmark(func(b *testing.B) {
+		stream := generator.NewStream(t, rel)
+		dst := batch.New(stream.Cols(), 0)
+		var n int64
+		for n < int64(b.N) {
+			if !stream.NextBatch(dst) {
+				stream = generator.NewStream(t, rel)
+				continue
+			}
+			n += int64(dst.Len())
+		}
+	})
+	rows = append(rows, row("generate_batches", genBatches, 1))
+
+	regen := core.RegenDatabase(sum, 0)
+	sql := pkg.Workload[0].SQL
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		return err
+	}
+	plan, err := engine.BuildPlan(regen.Schema, q)
+	if err != nil {
+		return err
+	}
+	scanRows := planInputRows(sum, plan)
+	for _, exec := range []struct {
+		name string
+		f    func(*engine.Database, *engine.Plan, engine.ExecOptions) (*engine.ExecResult, error)
+	}{
+		{"dataless_query_batch", engine.Execute},
+		{"dataless_query_rows", engine.ExecuteRows},
+	} {
+		f := exec.f
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f(regen, plan, engine.ExecOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, row(exec.name, r, float64(scanRows)))
+	}
+
+	enc := json.NewEncoder(w)
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planInputRows totals the tuples every scan of the plan regenerates — the
+// denominator for a query benchmark's rows/sec.
+func planInputRows(sum *summary.Database, plan *engine.Plan) int64 {
+	var total int64
+	var walk func(pn *engine.PlanNode)
+	walk = func(pn *engine.PlanNode) {
+		if pn.Op == engine.OpScan {
+			if rel := sum.Relations[pn.Table]; rel != nil {
+				total += rel.Total
+			}
+		}
+		for _, c := range pn.Children {
+			walk(c)
+		}
+	}
+	walk(plan.Root)
+	return total
+}

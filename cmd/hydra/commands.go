@@ -251,9 +251,16 @@ func cmdBench(args []string) error {
 	sf := fs.Float64("sf", 1.0, "warehouse scale factor")
 	nq := fs.Int("queries", 131, "workload size")
 	seed := fs.Int64("seed", 7, "seed")
+	jsonOut := fs.Bool("json", false, "emit machine-readable micro-benchmark rows (one JSON object per line) instead of the experiment tables")
 	fs.Parse(args)
 
 	cfg := experiments.Config{Seed: *seed, ScaleFactor: *sf, Queries: *nq}
+	if *jsonOut {
+		if *exp != "all" {
+			return fmt.Errorf("-json runs the fixed micro-benchmark suite and cannot be combined with -exp %s", *exp)
+		}
+		return runJSONBench(os.Stdout, cfg)
+	}
 	w := os.Stdout
 	run := func(id string, fn func() error) error {
 		if *exp != "all" && !strings.EqualFold(*exp, id) {

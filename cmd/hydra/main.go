@@ -9,7 +9,7 @@
 //	hydra generate -summary summary.json -table item [-limit 10] [-rate 5000] [-csv out.csv]
 //	hydra verify   -in pkg.json -summary summary.json [-worst 10]
 //	hydra scenario -in pkg.json -factor 1000 [-out scaled.json]
-//	hydra bench    [-exp all|E1|…|E9] [-sf 1] [-queries 131]
+//	hydra bench    [-exp all|E1|…|E10] [-sf 1] [-queries 131] [-json]
 //
 // All artifacts are JSON; nothing touches a real database — the client
 // warehouse is the built-in synthetic TPC-DS-like generator (or the toy

@@ -19,6 +19,7 @@ package hydra
 import (
 	"repro/internal/anonymize"
 	"repro/internal/aqp"
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/generator"
@@ -44,6 +45,13 @@ type (
 	Relation = engine.Relation
 	// RowSource yields coded rows one at a time.
 	RowSource = engine.RowSource
+
+	// Batch is a reusable fixed-capacity buffer of coded rows, the unit
+	// the batched generation and execution pipelines move tuples in.
+	Batch = batch.Batch
+	// BatchSource yields coded rows a batch at a time. The generator's
+	// Stream and its Paced wrapper both implement it.
+	BatchSource = batch.Source
 
 	// AQP is a query with its cardinality-annotated plan.
 	AQP = aqp.AQP
@@ -117,13 +125,22 @@ func Verify(db *Database, workload []*AQP) (*Report, error) {
 }
 
 // Stream opens a raw tuple-generation stream for one table of the summary,
-// for callers that want rows rather than query execution.
+// for callers that want rows rather than query execution. The stream is
+// batch-capable: call Next for one row at a time or NextBatch (with a
+// batch from NewBatch) for amortized bulk generation.
 func Stream(sum *Summary, table string) *generator.Stream {
 	return generator.NewStream(sum.Schema.Table(table), sum.Relations[table])
 }
 
+// NewBatch returns an empty row batch of the given width; capRows <= 0
+// selects the default capacity.
+func NewBatch(cols, capRows int) *Batch { return batch.New(cols, capRows) }
+
 // Pace throttles a row source to rowsPerSec (the demo's velocity slider);
-// a non-positive rate returns the source unchanged.
+// a non-positive rate returns the source unchanged. The returned source is
+// batch-capable: it implements BatchSource, crediting whole batches
+// against the absolute pacing schedule (and delegating batch generation to
+// src when src itself is a BatchSource).
 func Pace(src RowSource, rowsPerSec float64) RowSource {
 	if rowsPerSec <= 0 {
 		return src

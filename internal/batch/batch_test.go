@@ -1,0 +1,103 @@
+package batch
+
+import "testing"
+
+func TestAppendRowLen(t *testing.T) {
+	b := New(3, 4)
+	if b.Cols() != 3 || b.Cap() != 4 || b.Len() != 0 || b.Full() {
+		t.Fatalf("fresh batch: cols=%d cap=%d len=%d full=%v", b.Cols(), b.Cap(), b.Len(), b.Full())
+	}
+	for i := 0; i < 4; i++ {
+		row := b.Append()
+		if len(row) != 3 {
+			t.Fatalf("Append row width %d, want 3", len(row))
+		}
+		for j := range row {
+			row[j] = int64(10*i + j)
+		}
+	}
+	if !b.Full() || b.Len() != 4 {
+		t.Fatalf("after 4 appends: len=%d full=%v", b.Len(), b.Full())
+	}
+	for i := 0; i < 4; i++ {
+		row := b.Row(i)
+		for j, v := range row {
+			if v != int64(10*i+j) {
+				t.Fatalf("Row(%d)[%d] = %d, want %d", i, j, v, 10*i+j)
+			}
+		}
+	}
+}
+
+func TestAppendFullPanics(t *testing.T) {
+	b := New(2, 1)
+	b.Append()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append on full batch did not panic")
+		}
+	}()
+	b.Append()
+}
+
+func TestExtend(t *testing.T) {
+	b := New(2, 8)
+	flat := b.Extend(3)
+	if len(flat) != 6 {
+		t.Fatalf("Extend(3) flat len %d, want 6", len(flat))
+	}
+	for i := range flat {
+		flat[i] = int64(i)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len after Extend = %d, want 3", b.Len())
+	}
+	if got := b.Row(2); got[0] != 4 || got[1] != 5 {
+		t.Fatalf("Row(2) = %v, want [4 5]", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extend beyond capacity did not panic")
+		}
+	}()
+	b.Extend(6)
+}
+
+func TestResetTruncateReuse(t *testing.T) {
+	b := New(2, 4)
+	for i := 0; i < 3; i++ {
+		row := b.Append()
+		row[0], row[1] = int64(i), int64(i)
+	}
+	b.Truncate(1)
+	if b.Len() != 1 || b.Row(0)[0] != 0 {
+		t.Fatalf("after Truncate(1): len=%d row0=%v", b.Len(), b.Row(0))
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("after Reset: len=%d", b.Len())
+	}
+	// Storage is retained: appending again must not allocate a larger backing.
+	if got := cap(b.data); got != 8 {
+		t.Fatalf("backing cap changed to %d", got)
+	}
+}
+
+func TestRowAliasingIsBounded(t *testing.T) {
+	b := New(2, 4)
+	b.Append()
+	b.Append()
+	r0 := b.Row(0)
+	// Writing past a row's width must not be possible via append on the
+	// returned slice (full slice expressions cap the row).
+	if cap(r0) != 2 {
+		t.Fatalf("row slice cap = %d, want 2", cap(r0))
+	}
+}
+
+func TestDefaultCap(t *testing.T) {
+	b := New(1, 0)
+	if b.Cap() != DefaultCap {
+		t.Fatalf("Cap = %d, want DefaultCap %d", b.Cap(), DefaultCap)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"repro/internal/aqp"
+	"repro/internal/batch"
 	"repro/internal/engine"
 	"repro/internal/generator"
 	"repro/internal/preprocess"
@@ -137,7 +138,8 @@ func BuildFromPackage(pkg *TransferPackage, opts summary.BuildOptions) (*summary
 // RegenDatabase returns a dataless database: every table's scan is served
 // by the tuple generator straight from the summary (the paper's datagen
 // relation property). rowsPerSec throttles generation per scan; zero means
-// unlimited.
+// unlimited. The returned sources are batch-capable (both Stream and Paced
+// implement batch.Source), so engine execution runs on the batched path.
 func RegenDatabase(sum *summary.Database, rowsPerSec float64) *engine.Database {
 	db := engine.NewDatabase(sum.Schema)
 	for name := range sum.Relations {
@@ -156,20 +158,25 @@ func RegenDatabase(sum *summary.Database, rowsPerSec float64) *engine.Database {
 
 // MaterializedDatabase expands the summary into stored rows — the demo's
 // optional materialize mode, and the reference point dynamic regeneration
-// is compared against.
+// is compared against. Expansion runs through the generator's batch path:
+// each batch is copied once into a flat arena that the stored rows slice
+// into, so materialization costs two allocations per batch instead of one
+// per row.
 func MaterializedDatabase(sum *summary.Database) (*engine.Database, error) {
 	db := engine.NewDatabase(sum.Schema)
 	for name, relSum := range sum.Relations {
 		t := sum.Schema.Table(name)
+		ncols := len(t.Columns)
 		rel := &engine.Relation{Table: t}
+		if relSum.Total > 0 {
+			rel.Rows = make([][]int64, 0, relSum.Total)
+		}
 		stream := generator.NewStream(t, relSum)
-		for {
-			row, ok := stream.Next()
-			if !ok {
-				break
-			}
-			if err := rel.Append(append([]int64(nil), row...)); err != nil {
-				return nil, err
+		b := batch.New(ncols, 0)
+		for stream.NextBatch(b) {
+			arena := append([]int64(nil), b.Data()...)
+			for i := 0; i < b.Len(); i++ {
+				rel.Rows = append(rel.Rows, arena[i*ncols:(i+1)*ncols:(i+1)*ncols])
 			}
 		}
 		if err := db.AddRelation(rel); err != nil {

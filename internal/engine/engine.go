@@ -12,6 +12,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/batch"
 	"repro/internal/schema"
 )
 
@@ -98,6 +99,20 @@ func (db *Database) openScan(table string) (RowSource, error) {
 	return &sliceSource{rows: rel.Rows}, nil
 }
 
+// openBatchScan returns a batch source for the table: batch-capable
+// sources (the generator's Stream, its Paced wrapper, stored relations)
+// are used directly, any other datagen source is adapted row by row.
+func (db *Database) openBatchScan(table string) (batch.Source, error) {
+	src, err := db.openScan(table)
+	if err != nil {
+		return nil, err
+	}
+	if bs, ok := src.(batch.Source); ok {
+		return bs, nil
+	}
+	return &rowBatchSource{src: src}, nil
+}
+
 type sliceSource struct {
 	rows [][]int64
 	i    int
@@ -110,4 +125,32 @@ func (s *sliceSource) Next() ([]int64, bool) {
 	r := s.rows[s.i]
 	s.i++
 	return r, true
+}
+
+// NextBatch copies stored rows into dst, implementing batch.Source.
+func (s *sliceSource) NextBatch(dst *batch.Batch) bool {
+	dst.Reset()
+	for !dst.Full() && s.i < len(s.rows) {
+		copy(dst.Append(), s.rows[s.i])
+		s.i++
+	}
+	return dst.Len() > 0
+}
+
+// rowBatchSource adapts a row-at-a-time source to batch.Source for datagen
+// functions supplied by callers outside this module.
+type rowBatchSource struct {
+	src RowSource
+}
+
+func (a *rowBatchSource) NextBatch(dst *batch.Batch) bool {
+	dst.Reset()
+	for !dst.Full() {
+		row, ok := a.src.Next()
+		if !ok {
+			break
+		}
+		copy(dst.Append(), row)
+	}
+	return dst.Len() > 0
 }

@@ -32,12 +32,23 @@ type ExecResult struct {
 type ExecOptions struct {
 	// SampleLimit caps how many output rows are retained in the result.
 	SampleLimit int
+	// BatchSize overrides the execution batch capacity in rows (<= 0 means
+	// batch.DefaultCap). Mainly for tests exercising batch boundaries.
+	BatchSize int
 }
 
 // Execute runs a plan against the database and returns the annotated
 // operator tree. Scans honor each table's datagen setting, so the same call
-// serves both stored and dataless execution.
+// serves both stored and dataless execution. Execution is batched (see
+// exec_batch.go); ExecuteRows is the row-at-a-time reference path and
+// produces identical results.
 func Execute(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
+	return executeBatched(db, plan, opts)
+}
+
+// ExecuteRows runs a plan one row at a time through pipelined iterators.
+// It is the executable specification the batched path is tested against.
+func ExecuteRows(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
 	it, node, err := open(db, plan.Root)
 	if err != nil {
 		return nil, err
@@ -96,11 +107,7 @@ func open(db *Database, pn *PlanNode) (iterator, *ExecNode, error) {
 			return nil, nil, err
 		}
 		node := &ExecNode{Op: pn.Op.String(), JoinSQL: pn.JoinSQL, Children: []*ExecNode{probeNode, buildNode}}
-		ji, err := newHashJoinIter(probe, build, buildNode, pn)
-		if err != nil {
-			return nil, nil, err
-		}
-		return &countIter{src: ji, node: node}, node, nil
+		return &countIter{src: newHashJoinIter(probe, build, pn), node: node}, node, nil
 
 	case OpAggregate:
 		child, childNode, err := open(db, pn.Children[0])
@@ -157,9 +164,11 @@ type hashJoinIter struct {
 	mi      int
 }
 
-// newHashJoinIter fully consumes the build side into a hash map keyed by the
-// build key, crediting the build child's ExecNode with the consumed rows.
-func newHashJoinIter(probe, build iterator, buildNode *ExecNode, pn *PlanNode) (*hashJoinIter, error) {
+// newHashJoinIter fully consumes the build side into a hash map keyed by
+// the build key. Build rows are copied: iterator sources (datagen streams
+// in particular) reuse their row buffers, so retaining them verbatim would
+// alias every map entry to the same storage.
+func newHashJoinIter(probe, build iterator, pn *PlanNode) *hashJoinIter {
 	m := make(map[int64][][]int64)
 	for {
 		row, ok := build.Next()
@@ -167,10 +176,9 @@ func newHashJoinIter(probe, build iterator, buildNode *ExecNode, pn *PlanNode) (
 			break
 		}
 		k := row[pn.RightKey]
-		m[k] = append(m[k], row)
+		m[k] = append(m[k], append([]int64(nil), row...))
 	}
-	_ = buildNode // counts accumulated via countIter wrapping build
-	return &hashJoinIter{probe: probe, leftKey: pn.LeftKey, buildMap: m}, nil
+	return &hashJoinIter{probe: probe, leftKey: pn.LeftKey, buildMap: m}
 }
 
 func (h *hashJoinIter) Next() ([]int64, bool) {

@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/pred"
+)
+
+// The batched execution path. Operators move rows in fixed-capacity
+// batches (batch.DefaultCap unless ExecOptions.BatchSize overrides it), so
+// per-row interface calls disappear and cardinality accounting is
+// amortized to one addition per batch. Operator semantics — scan order,
+// filter order preservation, probe-order join output, COUNT(*) — are
+// identical to the row-at-a-time path in exec.go, which exec parity tests
+// hold it to.
+
+// batchIterator is the engine-internal operator contract: Next resets dst,
+// fills it with up to dst.Cap() output rows, and reports whether it
+// produced any. After the first false return the operator is exhausted.
+type batchIterator interface {
+	Next(dst *batch.Batch) bool
+}
+
+// executeBatched is the batched implementation behind Execute.
+func executeBatched(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
+	it, width, node, err := openBatch(db, plan.Root, opts.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExecResult{Root: node}
+	b := batch.New(width, opts.BatchSize)
+	for it.Next(b) {
+		n := b.Len()
+		res.Rows += int64(n)
+		for i := 0; opts.SampleLimit > 0 && len(res.Sample) < opts.SampleLimit && i < n; i++ {
+			res.Sample = append(res.Sample, append([]int64(nil), b.Row(i)...))
+		}
+		if plan.Root.Op == OpAggregate {
+			res.Count = b.Row(n - 1)[0]
+		}
+	}
+	node.OutRows = res.Rows
+	return res, nil
+}
+
+// openBatch builds the batched operator tree and its ExecNode mirror,
+// returning the operator's output width. Cardinality accounting is folded
+// into each operator instead of a wrapping counter. Like the row path,
+// hash-join build sides are consumed at open time.
+func openBatch(db *Database, pn *PlanNode, capRows int) (batchIterator, int, *ExecNode, error) {
+	switch pn.Op {
+	case OpScan:
+		src, err := db.openBatchScan(pn.Table)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		node := &ExecNode{Op: pn.Op.String(), Table: pn.Table}
+		width := len(db.Schema.Table(pn.Table).Columns)
+		return &batchScanIter{src: src, node: node}, width, node, nil
+
+	case OpFilter:
+		child, width, childNode, err := openBatch(db, pn.Children[0], capRows)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		table := db.Schema.Table(pn.Pred.Table)
+		node := &ExecNode{Op: pn.Op.String(), Table: pn.Pred.Table, PredSQL: pn.Pred.SQL(table), Children: []*ExecNode{childNode}}
+		m := pn.Pred.Matcher()
+		f := &batchFilterIter{child: child, m: m, ranges: m.AllRanges(), node: node}
+		f.col, f.lo, f.hi, f.single = m.Single()
+		return f, width, node, nil
+
+	case OpHashJoin:
+		probe, pw, probeNode, err := openBatch(db, pn.Children[0], capRows)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		build, bw, buildNode, err := openBatch(db, pn.Children[1], capRows)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		node := &ExecNode{Op: pn.Op.String(), JoinSQL: pn.JoinSQL, Children: []*ExecNode{probeNode, buildNode}}
+		ji := newBatchHashJoinIter(probe, build, pw, bw, pn, capRows)
+		ji.node = node
+		return ji, pw + bw, node, nil
+
+	case OpAggregate:
+		child, width, childNode, err := openBatch(db, pn.Children[0], capRows)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
+		return &batchCountStarIter{child: child, childCols: width, capRows: capRows, node: node}, 1, node, nil
+
+	default:
+		return nil, 0, nil, fmt.Errorf("engine: unknown operator %v", pn.Op)
+	}
+}
+
+// batchScanIter passes source batches through, counting them.
+type batchScanIter struct {
+	src  batch.Source
+	node *ExecNode
+}
+
+func (s *batchScanIter) Next(dst *batch.Batch) bool {
+	if !s.src.NextBatch(dst) {
+		return false
+	}
+	s.node.OutRows += int64(dst.Len())
+	return true
+}
+
+// batchFilterIter compacts each child batch in place, keeping rows that
+// match the compiled predicate. Order is preserved. Single-range
+// predicates (one column, one interval) are inlined to two compares per
+// row over the batch's flat storage; the compiled fast paths are hoisted
+// to open time since the predicate is immutable for the iterator's life.
+type batchFilterIter struct {
+	child  batchIterator
+	m      *pred.Matcher
+	node   *ExecNode
+	ranges []pred.ColRange // non-nil when every column is one interval
+	col    int             // Single() fast path
+	lo, hi int64
+	single bool
+}
+
+func (f *batchFilterIter) Next(dst *batch.Batch) bool {
+	col, lo, hi, single := f.col, f.lo, f.hi, f.single
+	ranges := f.ranges
+	for {
+		if !f.child.Next(dst) {
+			return false
+		}
+		data := dst.Data()
+		w := dst.Cols()
+		k := 0
+		switch {
+		case single:
+			for off := 0; off < len(data); off += w {
+				v := data[off+col]
+				if v >= lo && v < hi {
+					if k != off {
+						copy(data[k:k+w], data[off:off+w])
+					}
+					k += w
+				}
+			}
+		case ranges != nil:
+			for off := 0; off < len(data); off += w {
+				ok := true
+				for _, r := range ranges {
+					if v := data[off+r.Col]; v < r.Lo || v >= r.Hi {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if k != off {
+						copy(data[k:k+w], data[off:off+w])
+					}
+					k += w
+				}
+			}
+		default:
+			for off := 0; off < len(data); off += w {
+				row := data[off : off+w : off+w]
+				if f.m.Match(row) {
+					if k != off {
+						copy(data[k:k+w], row)
+					}
+					k += w
+				}
+			}
+		}
+		dst.Truncate(k / w)
+		if k > 0 {
+			f.node.OutRows += int64(k / w)
+			return true
+		}
+		// Whole batch filtered out; pull the next one.
+	}
+}
+
+// batchHashJoinIter builds the right child once into a contiguous arena of
+// build rows plus a key → row-index map, then streams probe batches,
+// appending concatenated output rows without any per-row allocation. The
+// arena copy also severs aliasing with the build source's reused buffers.
+type batchHashJoinIter struct {
+	probe                batchIterator
+	node                 *ExecNode
+	leftKey              int
+	probeCols, buildCols int
+
+	arena []int64           // build rows, row-major
+	idx   map[int64][]int32 // build key -> row indices into arena
+
+	// probe cursor, carried across Next calls when dst fills mid-batch
+	pbatch  *batch.Batch
+	pi      int     // next unprocessed row of pbatch
+	cur     []int64 // current probe row (aliases pbatch)
+	matches []int32
+	mi      int
+	done    bool
+}
+
+func newBatchHashJoinIter(probe, build batchIterator, probeCols, buildCols int, pn *PlanNode, capRows int) *batchHashJoinIter {
+	h := &batchHashJoinIter{
+		probe:     probe,
+		leftKey:   pn.LeftKey,
+		probeCols: probeCols,
+		buildCols: buildCols,
+		idx:       make(map[int64][]int32),
+		pbatch:    batch.New(probeCols, capRows),
+	}
+	b := batch.New(buildCols, capRows)
+	var n int32
+	for build.Next(b) {
+		h.arena = append(h.arena, b.Data()...)
+		for i := 0; i < b.Len(); i++ {
+			k := b.Row(i)[pn.RightKey]
+			h.idx[k] = append(h.idx[k], n)
+			n++
+		}
+	}
+	return h
+}
+
+func (h *batchHashJoinIter) Next(dst *batch.Batch) bool {
+	dst.Reset()
+	bw := h.buildCols
+	for !dst.Full() {
+		if h.mi < len(h.matches) {
+			out := dst.Append()
+			copy(out, h.cur)
+			bi := int(h.matches[h.mi]) * bw
+			copy(out[h.probeCols:], h.arena[bi:bi+bw])
+			h.mi++
+			continue
+		}
+		if h.done {
+			break
+		}
+		if h.pi >= h.pbatch.Len() {
+			if !h.probe.Next(h.pbatch) {
+				h.done = true
+				break
+			}
+			h.pi = 0
+		}
+		h.cur = h.pbatch.Row(h.pi)
+		h.pi++
+		h.matches = h.idx[h.cur[h.leftKey]]
+		h.mi = 0
+	}
+	n := dst.Len()
+	h.node.OutRows += int64(n)
+	return n > 0
+}
+
+// batchCountStarIter drains its child, emitting the single COUNT(*) row.
+type batchCountStarIter struct {
+	child     batchIterator
+	childCols int
+	capRows   int
+	node      *ExecNode
+	done      bool
+}
+
+func (c *batchCountStarIter) Next(dst *batch.Batch) bool {
+	dst.Reset()
+	if c.done {
+		return false
+	}
+	c.done = true
+	b := batch.New(c.childCols, c.capRows)
+	var n int64
+	for c.child.Next(b) {
+		n += int64(b.Len())
+	}
+	dst.Append()[0] = n
+	c.node.OutRows++
+	return true
+}

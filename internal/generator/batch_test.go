@@ -1,0 +1,172 @@
+package generator
+
+import (
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/summary"
+	"repro/internal/value"
+)
+
+// edgeSummary stresses the batch boundaries: a multi-interval cycling set,
+// a Count far larger than small batch capacities (so one summary row spans
+// several batches), zero-count rows between populated ones, and a final
+// partial batch.
+func edgeSummary() *summary.Relation {
+	return &summary.Relation{
+		Table: "t",
+		Total: 17,
+		Rows: []summary.Row{
+			{Count: 0, Specs: []summary.ColSpec{summary.FixedSpec(1, 1)}},
+			{Count: 11, Specs: []summary.ColSpec{
+				summary.FixedSpec(1, 42),
+				summary.SetSpec(2, value.NewIntervalSet(value.Ival(2, 4), value.Point(7))),
+			}},
+			{Count: 0, Specs: []summary.ColSpec{summary.FixedSpec(1, 2)}},
+			{Count: 6, Specs: []summary.ColSpec{
+				summary.SetSpec(1, value.NewIntervalSet(value.Point(5))),
+				summary.SetSpec(2, value.NewIntervalSet(value.Ival(0, 10))),
+			}},
+			{Count: 0, Specs: []summary.ColSpec{summary.FixedSpec(1, 3)}},
+		},
+	}
+}
+
+// collectRows drains a stream via Next.
+func collectRows(s *Stream) [][]int64 {
+	var out [][]int64
+	for {
+		row, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, append([]int64(nil), row...))
+	}
+}
+
+// collectBatches drains a stream via NextBatch with the given capacity.
+func collectBatches(s *Stream, capRows int) [][]int64 {
+	var out [][]int64
+	b := batch.New(s.Cols(), capRows)
+	for s.NextBatch(b) {
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, append([]int64(nil), b.Row(i)...))
+		}
+	}
+	return out
+}
+
+func TestNextBatchMatchesNext(t *testing.T) {
+	tbl := genTable()
+	rel := edgeSummary()
+	want := collectRows(NewStream(tbl, rel))
+	if int64(len(want)) != rel.Total {
+		t.Fatalf("row path produced %d rows, want %d", len(want), rel.Total)
+	}
+	// Capacities around the summary row counts exercise every boundary
+	// case: counts spanning batch edges, batches ending exactly on a
+	// summary row, and a final partial batch.
+	for _, capRows := range []int{1, 2, 3, 4, 5, 7, 11, 16, 17, 1000} {
+		got := collectBatches(NewStream(tbl, rel), capRows)
+		if len(got) != len(want) {
+			t.Fatalf("cap %d: %d rows, want %d", capRows, len(got), len(want))
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("cap %d: row %d = %v, want %v", capRows, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNextBatchEmptyRelation(t *testing.T) {
+	s := NewStream(genTable(), &summary.Relation{Table: "t"})
+	b := batch.New(s.Cols(), 8)
+	if s.NextBatch(b) {
+		t.Fatal("empty relation produced a batch")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("batch holds %d rows after exhausted NextBatch", b.Len())
+	}
+	// All-zero-count rows are exhausted without producing anything either.
+	s = NewStream(genTable(), &summary.Relation{Table: "t", Rows: []summary.Row{
+		{Count: 0, Specs: []summary.ColSpec{summary.FixedSpec(1, 1)}},
+	}})
+	if s.NextBatch(b) {
+		t.Fatal("zero-count relation produced a batch")
+	}
+}
+
+func TestNextBatchCountSpansTiles(t *testing.T) {
+	// A single summary row far larger than the tiling granularity: the
+	// cycling cursor must stay aligned across tile and batch boundaries.
+	set := value.NewIntervalSet(value.Ival(10, 13), value.Point(20), value.Ival(30, 32))
+	rel := &summary.Relation{Table: "t", Total: 5000, Rows: []summary.Row{
+		{Count: 5000, Specs: []summary.ColSpec{
+			summary.FixedSpec(1, 9),
+			summary.SetSpec(2, set),
+		}},
+	}}
+	tbl := genTable()
+	got := collectBatches(NewStream(tbl, rel), 0) // default capacity
+	if len(got) != 5000 {
+		t.Fatalf("%d rows, want 5000", len(got))
+	}
+	setLen := set.Len()
+	for i, row := range got {
+		if row[0] != int64(i) {
+			t.Fatalf("row %d pk = %d", i, row[0])
+		}
+		if want := set.At(int64(i) % setLen); row[2] != want {
+			t.Fatalf("row %d cycling value = %d, want %d", i, row[2], want)
+		}
+	}
+}
+
+func TestPacedNextBatch(t *testing.T) {
+	tbl := genTable()
+	rel := edgeSummary()
+	want := collectRows(NewStream(tbl, rel))
+	p := NewPaced(NewStream(tbl, rel), 0)
+	b := batch.New(len(tbl.Columns), 4)
+	var got [][]int64
+	for p.NextBatch(b) {
+		for i := 0; i < b.Len(); i++ {
+			got = append(got, append([]int64(nil), b.Row(i)...))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paced batches: %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("row %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// rowOnly hides a stream's batch capability to exercise Paced's row-by-row
+// batch assembly fallback.
+type rowOnly struct{ s *Stream }
+
+func (r rowOnly) Next() ([]int64, bool) { return r.s.Next() }
+
+func TestPacedNextBatchRowFallback(t *testing.T) {
+	tbl := genTable()
+	want := collectRows(NewStream(tbl, edgeSummary()))
+	p := NewPaced(rowOnly{NewStream(tbl, edgeSummary())}, 0)
+	b := batch.New(len(tbl.Columns), 4)
+	var got [][]int64
+	for p.NextBatch(b) {
+		for i := 0; i < b.Len(); i++ {
+			got = append(got, append([]int64(nil), b.Row(i)...))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fallback batches: %d rows, want %d", len(got), len(want))
+	}
+}

@@ -1,21 +1,32 @@
 // Package generator implements Hydra's Tuple Generator: it expands a
-// database summary into concrete rows, one at a time, on demand. Plugged
-// into the engine's datagen scan it realizes the paper's dynamic
-// regeneration — queries execute against tables holding zero stored rows —
-// and because rows are produced in memory the generation velocity can be
-// regulated precisely (the rows/sec slider of the demo's vendor interface).
+// database summary into concrete rows on demand. Plugged into the engine's
+// datagen scan it realizes the paper's dynamic regeneration — queries
+// execute against tables holding zero stored rows — and because rows are
+// produced in memory the generation velocity can be regulated precisely
+// (the rows/sec slider of the demo's vendor interface).
+//
+// Generation is batched: NextBatch expands a summary row's Count tuples in
+// a tight per-column loop, hoisting the Fixed/Set dispatch out of the row
+// loop and replacing the per-row modulo of the cycling sets with an
+// incrementing interval cursor. The row-at-a-time Next is a thin view over
+// an internal batch, so both paths share one generation kernel.
 package generator
 
 import (
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/schema"
 	"repro/internal/summary"
+	"repro/internal/value"
 )
 
 // Stream yields the coded rows of one relation summary in primary-key
 // order: summary row j expands to its Count tuples, and tuple i (globally)
-// receives primary key i. Stream implements engine.RowSource.
+// receives primary key i. Stream implements engine.RowSource and
+// batch.Source. Use one access style per stream — Next buffers rows
+// internally, so interleaving it with direct NextBatch calls would skip
+// the buffered tail.
 type Stream struct {
 	table *schema.Table
 	rel   *summary.Relation
@@ -25,7 +36,10 @@ type Stream struct {
 	within int64 // tuples already emitted from the current summary row
 	pk     int64 // next primary key (global tuple index)
 
-	buf []int64
+	// Row-at-a-time adapter state: Next serves views into buf.
+	buf    *batch.Batch
+	flat   []int64 // buf's row-major data
+	cursor int     // offset of the next row within flat
 }
 
 // NewStream opens a generation stream over a relation summary.
@@ -34,40 +48,111 @@ func NewStream(t *schema.Table, rel *summary.Relation) *Stream {
 		table: t,
 		rel:   rel,
 		pkIdx: t.PKIndex(),
-		buf:   make([]int64, len(t.Columns)),
 	}
 }
 
 // Total returns the number of tuples the stream will produce.
 func (s *Stream) Total() int64 { return s.rel.Total }
 
+// Cols returns the width of generated rows.
+func (s *Stream) Cols() int { return len(s.table.Columns) }
+
 // Next produces the next tuple. The returned slice is reused across calls;
 // callers that retain rows must copy them.
 func (s *Stream) Next() ([]int64, bool) {
-	for s.rowIdx < len(s.rel.Rows) && s.within >= s.rel.Rows[s.rowIdx].Count {
-		s.rowIdx++
-		s.within = 0
+	if s.cursor >= len(s.flat) {
+		if s.buf == nil {
+			s.buf = batch.New(len(s.table.Columns), 0)
+		}
+		if !s.NextBatch(s.buf) {
+			return nil, false
+		}
+		s.flat = s.buf.Data()
+		s.cursor = 0
 	}
-	if s.rowIdx >= len(s.rel.Rows) {
-		return nil, false
-	}
-	row := &s.rel.Rows[s.rowIdx]
-	if s.pkIdx >= 0 {
-		s.buf[s.pkIdx] = s.pk
-	}
-	for _, sp := range row.Specs {
-		if sp.Fixed != nil {
-			s.buf[sp.Col] = *sp.Fixed
+	ncols := len(s.table.Columns)
+	row := s.flat[s.cursor : s.cursor+ncols : s.cursor+ncols]
+	s.cursor += ncols
+	return row, true
+}
+
+// tileRows bounds how many rows one column-fill pass covers. A tile of
+// 128 rows times a typical row width stays within the L1 cache, so the
+// per-spec passes over a tile hit L1 instead of re-walking the whole
+// batch (one cache line per row) once per column.
+const tileRows = 128
+
+// NextBatch resets dst and fills it with up to dst.Cap() generated rows,
+// reporting whether any were produced. dst must have width Cols().
+func (s *Stream) NextBatch(dst *batch.Batch) bool {
+	dst.Reset()
+	ncols := len(s.table.Columns)
+	for !dst.Full() && s.rowIdx < len(s.rel.Rows) {
+		row := &s.rel.Rows[s.rowIdx]
+		if s.within >= row.Count {
+			s.rowIdx++
+			s.within = 0
 			continue
 		}
-		// Cycle deterministically through the spec's value set so the
-		// Count tuples spread evenly (foreign keys fan out across the
-		// whole referenced key range, as the paper's alignment intends).
-		s.buf[sp.Col] = sp.Set.At(s.within % sp.Set.Len())
+		k := row.Count - s.within
+		if k > tileRows {
+			k = tileRows
+		}
+		if free := int64(dst.Cap() - dst.Len()); k > free {
+			k = free
+		}
+		out := dst.Extend(int(k))
+		if s.pkIdx >= 0 {
+			pk := s.pk
+			for off := s.pkIdx; off < len(out); off += ncols {
+				out[off] = pk
+				pk++
+			}
+		}
+		for si := range row.Specs {
+			sp := &row.Specs[si]
+			if sp.Fixed != nil {
+				v := *sp.Fixed
+				for off := sp.Col; off < len(out); off += ncols {
+					out[off] = v
+				}
+				continue
+			}
+			fillCycling(out, sp.Col, ncols, sp.Set, s.within)
+		}
+		s.within += k
+		s.pk += k
 	}
-	s.within++
-	s.pk++
-	return s.buf, true
+	return dst.Len() > 0
+}
+
+// fillCycling writes the cycling-set column col of a row-major segment:
+// value i of the segment is set.At((start+i) mod set.Len()), the same
+// deterministic fan-out as the row-at-a-time path (foreign keys spread
+// evenly across the referenced key range, as the paper's alignment
+// intends). The modulo and rank search run once per segment; the loop then
+// walks the interval set with an incrementing cursor.
+func fillCycling(out []int64, col, stride int, set value.IntervalSet, start int64) {
+	rank := start % set.Len()
+	iv := 0
+	for rank >= set[iv].Len() {
+		rank -= set[iv].Len()
+		iv++
+	}
+	v := set[iv].Lo + rank
+	hi := set[iv].Hi
+	for off := col; off < len(out); off += stride {
+		out[off] = v
+		v++
+		if v == hi {
+			iv++
+			if iv == len(set) {
+				iv = 0
+			}
+			v = set[iv].Lo
+			hi = set[iv].Hi
+		}
+	}
 }
 
 // Paced wraps a row source with a rate limiter, realizing the demo's
@@ -76,7 +161,10 @@ func (s *Stream) Next() ([]int64, bool) {
 // Pacing uses an absolute schedule: row i is due at start + i·interval, so
 // sleep overshoot (which on a typical kernel is tens of microseconds to a
 // millisecond per sleep) is automatically credited back — the achieved rate
-// converges to the requested one instead of drifting low.
+// converges to the requested one instead of drifting low. Batches are
+// credited wholesale: NextBatch waits until its first row is due, then
+// advances the schedule by the whole batch, so the achieved rate still
+// converges while the per-row syscall overhead disappears.
 type Paced struct {
 	src interface {
 		Next() ([]int64, bool)
@@ -108,6 +196,38 @@ func (p *Paced) Next() ([]int64, bool) {
 	if p.interval <= 0 {
 		return p.src.Next()
 	}
+	p.pace(1)
+	return p.src.Next()
+}
+
+// NextBatch produces the next batch no sooner than the rate allows,
+// crediting the whole batch against the absolute schedule. When the
+// wrapped source is not batch-capable the batch is assembled row by row.
+func (p *Paced) NextBatch(dst *batch.Batch) bool {
+	bs, ok := p.src.(batch.Source)
+	if !ok {
+		dst.Reset()
+		for !dst.Full() {
+			row, ok := p.Next()
+			if !ok {
+				break
+			}
+			copy(dst.Append(), row)
+		}
+		return dst.Len() > 0
+	}
+	if !bs.NextBatch(dst) {
+		return false
+	}
+	if p.interval > 0 {
+		p.pace(int64(dst.Len()))
+	}
+	return true
+}
+
+// pace blocks until the next row is due, then advances the schedule by n
+// rows.
+func (p *Paced) pace(n int64) {
 	now := time.Now()
 	if !p.started {
 		p.started = true
@@ -118,6 +238,5 @@ func (p *Paced) Next() ([]int64, bool) {
 	} else if wait < -maxBurstBehind {
 		p.due = now.Add(-maxBurstBehind)
 	}
-	p.due = p.due.Add(p.interval)
-	return p.src.Next()
+	p.due = p.due.Add(time.Duration(n) * p.interval)
 }

@@ -238,6 +238,91 @@ func (r *Region) Match(row []int64) bool {
 	return true
 }
 
+// Matcher is a compiled form of a Region for hot row-matching loops:
+// single-interval column sets (the overwhelmingly common case for range
+// predicates) are reduced to two integer compares, and only multi-interval
+// sets fall back to the binary search of IntervalSet.Contains.
+type Matcher struct {
+	cols []matcherCol
+}
+
+type matcherCol struct {
+	col    int
+	lo, hi int64             // half-open [lo, hi) when set is nil
+	set    value.IntervalSet // non-nil for multi-interval sets
+}
+
+// Matcher compiles the region for repeated matching.
+func (r *Region) Matcher() *Matcher {
+	m := &Matcher{cols: make([]matcherCol, len(r.Cols))}
+	for i, c := range r.Cols {
+		s := r.Sets[i]
+		mc := matcherCol{col: c}
+		switch len(s) {
+		case 0:
+			mc.lo, mc.hi = 0, 0 // empty set matches nothing
+		case 1:
+			mc.lo, mc.hi = s[0].Lo, s[0].Hi
+		default:
+			mc.set = s
+		}
+		m.cols[i] = mc
+	}
+	return m
+}
+
+// Single reports whether the matcher is one contiguous range on one
+// column — the overwhelmingly common shape for the SPJ workloads Hydra
+// handles — returning the column and its half-open [lo, hi) bounds so hot
+// loops can inline the two compares.
+func (m *Matcher) Single() (col int, lo, hi int64, ok bool) {
+	if len(m.cols) != 1 || m.cols[0].set != nil {
+		return 0, 0, 0, false
+	}
+	mc := &m.cols[0]
+	return mc.col, mc.lo, mc.hi, true
+}
+
+// ColRange is one contiguous per-column constraint: row[Col] ∈ [Lo, Hi).
+type ColRange struct {
+	Col    int
+	Lo, Hi int64
+}
+
+// AllRanges returns the matcher as a list of contiguous per-column ranges
+// when every constrained column is a single interval, or nil when any
+// column needs a multi-interval set. Hot loops iterate the returned slice
+// with inline compares instead of calling Match per row.
+func (m *Matcher) AllRanges() []ColRange {
+	out := make([]ColRange, len(m.cols))
+	for i := range m.cols {
+		mc := &m.cols[i]
+		if mc.set != nil {
+			return nil
+		}
+		out[i] = ColRange{Col: mc.col, Lo: mc.lo, Hi: mc.hi}
+	}
+	return out
+}
+
+// Match reports whether the coded row satisfies the compiled region.
+func (m *Matcher) Match(row []int64) bool {
+	for i := range m.cols {
+		mc := &m.cols[i]
+		if mc.set == nil {
+			v := row[mc.col]
+			if v < mc.lo || v >= mc.hi {
+				return false
+			}
+			continue
+		}
+		if !mc.set.Contains(row[mc.col]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Empty reports whether the region selects no rows (some column set empty).
 func (r *Region) Empty() bool {
 	for _, s := range r.Sets {

@@ -41,7 +41,9 @@ type Report struct {
 }
 
 // Verify executes every workload query against db (stored or dataless) and
-// compares observed cardinalities with the AQP annotations.
+// compares observed cardinalities with the AQP annotations. Execution runs
+// on the engine's batched path; dataless scans therefore stream generated
+// tuples a batch at a time.
 func Verify(db *engine.Database, workload []*aqp.AQP) (*Report, error) {
 	rep := &Report{}
 	for qi, a := range workload {
