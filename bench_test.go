@@ -10,12 +10,15 @@ package hydra
 // or use "go run ./cmd/hydra bench" for the full-size tables.
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"sync"
 	"testing"
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/generator"
 	"repro/internal/sqlkit"
 )
 
@@ -225,6 +228,64 @@ func BenchmarkDatalessJoinQuery(b *testing.B) {
 		if _, err := engine.Execute(db, plan, engine.ExecOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelQuery measures morsel-driven dataless execution of the
+// reference join query across worker counts; compare against the
+// sequential BenchmarkDatalessJoinQuery for the scaling curve (on a
+// single-core host the curve is flat — the interesting number is the
+// absence of a parallelization penalty).
+func BenchmarkParallelQuery(b *testing.B) {
+	cfg := benchConfig()
+	_, sum := mustBuild(b, cfg)
+	db := Regen(sum, 0)
+	const sql = "SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk AND i_category = 'Music'"
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := engine.BuildPlan(db.Schema, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := engine.ExecOptions{Parallelism: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.ExecuteParallel(db, plan, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelGenerate measures raw tuple generation fanned out over
+// partitioned streams; ns/op is amortized per generated row.
+func BenchmarkParallelGenerate(b *testing.B) {
+	cfg := benchConfig()
+	_, sum := mustBuild(b, cfg)
+	total := Stream(sum, "store_sales").Total()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var n int64
+			for n < int64(b.N) {
+				parts := Stream(sum, "store_sales").Partition(workers)
+				var wg sync.WaitGroup
+				for _, p := range parts {
+					wg.Add(1)
+					go func(p *generator.Stream) {
+						defer wg.Done()
+						dst := NewBatch(p.Cols(), 0)
+						for p.NextBatch(dst) {
+						}
+					}(p)
+				}
+				wg.Wait()
+				n += total
+			}
+		})
 	}
 }
 

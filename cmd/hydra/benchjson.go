@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"repro/internal/batch"
@@ -120,6 +121,45 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 			}
 		})
 		rows = append(rows, row(exec.name, r, float64(scanRows)))
+	}
+
+	// Morsel-driven parallel execution at 1/2/4/8 workers of the same
+	// query (ExecuteParallel honors the worker count verbatim, so the
+	// scaling series is meaningful on any host; speedup saturates at the
+	// host's core count).
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := engine.ExecOptions{Parallelism: workers}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.ExecuteParallel(regen, plan, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, row(fmt.Sprintf("parallel_query_w%d", workers), r, float64(scanRows)))
+	}
+
+	// Raw generation over partitioned streams at 1/2/4/8 workers.
+	for _, workers := range []int{1, 2, 4, 8} {
+		r := testing.Benchmark(func(b *testing.B) {
+			var n int64
+			for n < int64(b.N) {
+				parts := generator.NewStream(t, rel).Partition(workers)
+				var wg sync.WaitGroup
+				for _, p := range parts {
+					wg.Add(1)
+					go func(p *generator.Stream) {
+						defer wg.Done()
+						dst := batch.New(p.Cols(), 0)
+						for p.NextBatch(dst) {
+						}
+					}(p)
+				}
+				wg.Wait()
+				n += rel.Total
+			}
+		})
+		rows = append(rows, row(fmt.Sprintf("parallel_generate_w%d", workers), r, 1))
 	}
 
 	enc := json.NewEncoder(w)

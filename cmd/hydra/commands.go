@@ -247,7 +247,7 @@ func cmdScenario(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment id (E1..E9) or all")
+	exp := fs.String("exp", "all", "experiment id (E1..E11) or all")
 	sf := fs.Float64("sf", 1.0, "warehouse scale factor")
 	nq := fs.Int("queries", 131, "workload size")
 	seed := fs.Int64("seed", 7, "seed")
@@ -283,6 +283,7 @@ func cmdBench(args []string) error {
 		{"E8", func() error { return experiments.E8Scenario(w, cfg, []float64{10, 100, 1000, 10000}) }},
 		{"E9", func() error { return experiments.E9Referential(w, cfg, []float64{1, 0.5, 0.25}) }},
 		{"E10", func() error { return experiments.E10Ablation(w, cfg) }},
+		{"E11", func() error { return experiments.E11Parallel(w, cfg, []int{1, 2, 4, 8}) }},
 	}
 	for _, s := range steps {
 		if err := run(s.id, s.fn); err != nil {

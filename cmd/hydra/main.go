@@ -9,7 +9,8 @@
 //	hydra generate -summary summary.json -table item [-limit 10] [-rate 5000] [-csv out.csv]
 //	hydra verify   -in pkg.json -summary summary.json [-worst 10]
 //	hydra scenario -in pkg.json -factor 1000 [-out scaled.json]
-//	hydra bench    [-exp all|E1|…|E10] [-sf 1] [-queries 131] [-json]
+//	hydra serve    -summary summary.json [-addr :8372] [-parallelism 8] [-rate 0]
+//	hydra bench    [-exp all|E1|…|E11] [-sf 1] [-queries 131] [-json]
 //
 // All artifacts are JSON; nothing touches a real database — the client
 // warehouse is the built-in synthetic TPC-DS-like generator (or the toy
@@ -40,6 +41,8 @@ func main() {
 		err = cmdScenario(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "help", "-h", "--help":
@@ -65,7 +68,8 @@ commands:
   verify     re-execute the workload datalessly and report volumetric similarity
   scenario   scale a client package for what-if analysis and check feasibility
   stats      display a column's metadata (equi-depth histogram, top values)
-  bench      run the paper's experiments (E1..E10)
+  serve      serve concurrent SQL queries over HTTP from a loaded summary
+  bench      run the paper's experiments (E1..E11)
 
 run "hydra <command> -h" for command flags.
 `)

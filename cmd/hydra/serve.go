@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"repro/internal/serve"
+)
+
+// cmdServe runs the concurrent query front end: an HTTP server over one
+// loaded summary, every scan regenerated on the fly — many clients, zero
+// stored rows.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("summary", "summary.json", "summary file")
+	addr := fs.String("addr", ":8372", "listen address")
+	par := fs.Int("parallelism", runtime.GOMAXPROCS(0), "workers per query (0 = sequential; clamped to GOMAXPROCS)")
+	sample := fs.Int("sample", 10, "max result rows returned per query")
+	rate := fs.Float64("rate", 0, "generation velocity in rows/sec per scan (0 = unlimited; disables parallelism)")
+	fs.Parse(args)
+
+	sum, err := readSummary(*in)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(sum, serve.Options{
+		Parallelism: *par,
+		SampleLimit: *sample,
+		RowsPerSec:  *rate,
+	})
+	fmt.Printf("serving %d dataless tables on %s (parallelism=%d)\n", len(sum.Relations), *addr, *par)
+	fmt.Printf("  POST %s/query   {\"sql\": \"SELECT COUNT(*) FROM ...\"}\n", *addr)
+	fmt.Printf("  GET  %s/healthz\n", *addr)
+	return http.ListenAndServe(*addr, srv.Handler())
+}

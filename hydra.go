@@ -25,6 +25,7 @@ import (
 	"repro/internal/generator"
 	"repro/internal/scenario"
 	"repro/internal/schema"
+	"repro/internal/sqlkit"
 	"repro/internal/summary"
 	"repro/internal/verify"
 )
@@ -45,6 +46,18 @@ type (
 	Relation = engine.Relation
 	// RowSource yields coded rows one at a time.
 	RowSource = engine.RowSource
+
+	// ExecOptions tune query execution: sample retention, batch capacity,
+	// and morsel-driven parallelism (Parallelism 0 = sequential; n >= 1
+	// fans the probe pipeline out across n workers with results
+	// byte-identical to sequential execution).
+	ExecOptions = engine.ExecOptions
+	// ExecResult is an executed query's outcome: rows, COUNT value, sample,
+	// and the cardinality-annotated operator tree.
+	ExecResult = engine.ExecResult
+	// ExecNode is one operator of an executed plan with its observed
+	// output cardinality.
+	ExecNode = engine.ExecNode
 
 	// Batch is a reusable fixed-capacity buffer of coded rows, the unit
 	// the batched generation and execution pipelines move tuples in.
@@ -122,6 +135,24 @@ func Materialize(sum *Summary) (*Database, error) {
 // cardinality with its annotation — the generation-quality panel of §4.2.
 func Verify(db *Database, workload []*AQP) (*Report, error) {
 	return verify.Verify(db, workload)
+}
+
+// Query parses, plans, and executes one SPJ/COUNT(*) SQL query against db
+// (stored or dataless). With opts.Parallelism >= 1 execution is
+// morsel-parallel; Execute clamps the value into [0, GOMAXPROCS]. This is
+// the call the hydra serve front end issues per HTTP request — db is safe
+// for concurrent Query calls because every execution opens fresh scan
+// state.
+func Query(db *Database, sql string, opts ExecOptions) (*ExecResult, error) {
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.BuildPlan(db.Schema, q)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Execute(db, plan, opts)
 }
 
 // Stream opens a raw tuple-generation stream for one table of the summary,

@@ -137,6 +137,29 @@ func (s *sliceSource) NextBatch(dst *batch.Batch) bool {
 	return dst.Len() > 0
 }
 
+// Total returns the number of stored rows, implementing (with Section) the
+// parallel.Source contract so stored relations are morsel-partitionable
+// like generator streams.
+func (s *sliceSource) Total() int64 { return int64(len(s.rows)) }
+
+// Section opens an independent cursor over rows [lo, hi).
+func (s *sliceSource) Section(lo, hi int64) batch.Source {
+	n := int64(len(s.rows))
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return &sliceSource{rows: s.rows[lo:hi]}
+}
+
 // rowBatchSource adapts a row-at-a-time source to batch.Source for datagen
 // functions supplied by callers outside this module.
 type rowBatchSource struct {

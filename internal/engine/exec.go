@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 )
 
 // ExecNode mirrors one plan operator after execution, carrying the observed
@@ -33,22 +35,69 @@ type ExecOptions struct {
 	// SampleLimit caps how many output rows are retained in the result.
 	SampleLimit int
 	// BatchSize overrides the execution batch capacity in rows (<= 0 means
-	// batch.DefaultCap). Mainly for tests exercising batch boundaries.
+	// batch.DefaultCap, < 0 is rejected by Normalize). Mainly for tests
+	// exercising batch boundaries.
 	BatchSize int
+	// Parallelism selects morsel-driven parallel execution: 0 (the
+	// default) runs the sequential batched executor, n >= 1 runs the
+	// scan→filter→probe pipeline on n workers (see exec_parallel.go).
+	// Execute clamps it into [0, GOMAXPROCS]; ExecuteParallel honors it
+	// verbatim so tests can oversubscribe.
+	Parallelism int
+}
+
+// ErrInvalidOptions tags ExecOptions validation failures; test with
+// errors.Is.
+var ErrInvalidOptions = errors.New("invalid exec options")
+
+// validate rejects option values that would otherwise silently misbehave.
+func (o ExecOptions) validate() error {
+	if o.BatchSize < 0 {
+		return fmt.Errorf("engine: %w: BatchSize %d is negative", ErrInvalidOptions, o.BatchSize)
+	}
+	return nil
+}
+
+// Normalize validates the options and clamps Parallelism into
+// [0, GOMAXPROCS], returning the normalized copy. A typed error (wrapping
+// ErrInvalidOptions) reports values with no sensible interpretation.
+func (o ExecOptions) Normalize() (ExecOptions, error) {
+	if err := o.validate(); err != nil {
+		return o, err
+	}
+	if o.Parallelism < 0 {
+		o.Parallelism = 0
+	}
+	if max := runtime.GOMAXPROCS(0); o.Parallelism > max {
+		o.Parallelism = max
+	}
+	return o, nil
 }
 
 // Execute runs a plan against the database and returns the annotated
 // operator tree. Scans honor each table's datagen setting, so the same call
 // serves both stored and dataless execution. Execution is batched (see
-// exec_batch.go); ExecuteRows is the row-at-a-time reference path and
-// produces identical results.
+// exec_batch.go); with opts.Parallelism >= 1 it is also morsel-parallel
+// (see exec_parallel.go), with results byte-identical to the sequential
+// path. ExecuteRows is the row-at-a-time reference path and produces
+// identical results.
 func Execute(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Parallelism >= 1 {
+		return ExecuteParallel(db, plan, opts)
+	}
 	return executeBatched(db, plan, opts)
 }
 
 // ExecuteRows runs a plan one row at a time through pipelined iterators.
 // It is the executable specification the batched path is tested against.
 func ExecuteRows(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	it, node, err := open(db, plan.Root)
 	if err != nil {
 		return nil, err

@@ -22,9 +22,26 @@ type batchIterator interface {
 	Next(dst *batch.Batch) bool
 }
 
+// scanOverride hands an already-opened scan source to openBatch, so a
+// caller that had to open a table's source to inspect it (the parallel
+// executor probing partitionability) does not invoke the table's
+// DatagenFunc a second time on fallback — the func's contract is one
+// invocation per scan. Self-joins are rejected at planning, so the table
+// name identifies the scan uniquely; used guards against regressions.
+type scanOverride struct {
+	table string
+	src   batch.Source
+	used  bool
+}
+
 // executeBatched is the batched implementation behind Execute.
 func executeBatched(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
-	it, width, node, err := openBatch(db, plan.Root, opts.BatchSize)
+	return executeBatchedFrom(db, plan, opts, nil)
+}
+
+// executeBatchedFrom is executeBatched with an optional pre-opened scan.
+func executeBatchedFrom(db *Database, plan *Plan, opts ExecOptions, ov *scanOverride) (*ExecResult, error) {
+	it, width, node, err := openBatch(db, plan.Root, opts.BatchSize, ov)
 	if err != nil {
 		return nil, err
 	}
@@ -47,20 +64,28 @@ func executeBatched(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, er
 // openBatch builds the batched operator tree and its ExecNode mirror,
 // returning the operator's output width. Cardinality accounting is folded
 // into each operator instead of a wrapping counter. Like the row path,
-// hash-join build sides are consumed at open time.
-func openBatch(db *Database, pn *PlanNode, capRows int) (batchIterator, int, *ExecNode, error) {
+// hash-join build sides are consumed at open time. ov, when non-nil,
+// supplies the named table's already-opened scan source.
+func openBatch(db *Database, pn *PlanNode, capRows int, ov *scanOverride) (batchIterator, int, *ExecNode, error) {
 	switch pn.Op {
 	case OpScan:
-		src, err := db.openBatchScan(pn.Table)
-		if err != nil {
-			return nil, 0, nil, err
+		var src batch.Source
+		if ov != nil && !ov.used && ov.table == pn.Table {
+			src = ov.src
+			ov.used = true
+		} else {
+			var err error
+			src, err = db.openBatchScan(pn.Table)
+			if err != nil {
+				return nil, 0, nil, err
+			}
 		}
 		node := &ExecNode{Op: pn.Op.String(), Table: pn.Table}
 		width := len(db.Schema.Table(pn.Table).Columns)
 		return &batchScanIter{src: src, node: node}, width, node, nil
 
 	case OpFilter:
-		child, width, childNode, err := openBatch(db, pn.Children[0], capRows)
+		child, width, childNode, err := openBatch(db, pn.Children[0], capRows, ov)
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -72,21 +97,22 @@ func openBatch(db *Database, pn *PlanNode, capRows int) (batchIterator, int, *Ex
 		return f, width, node, nil
 
 	case OpHashJoin:
-		probe, pw, probeNode, err := openBatch(db, pn.Children[0], capRows)
+		probe, pw, probeNode, err := openBatch(db, pn.Children[0], capRows, ov)
 		if err != nil {
 			return nil, 0, nil, err
 		}
-		build, bw, buildNode, err := openBatch(db, pn.Children[1], capRows)
+		build, bw, buildNode, err := openBatch(db, pn.Children[1], capRows, ov)
 		if err != nil {
 			return nil, 0, nil, err
 		}
 		node := &ExecNode{Op: pn.Op.String(), JoinSQL: pn.JoinSQL, Children: []*ExecNode{probeNode, buildNode}}
-		ji := newBatchHashJoinIter(probe, build, pw, bw, pn, capRows)
+		jb := newJoinBuild(build, pn.RightKey, bw, capRows)
+		ji := newBatchHashJoinIter(probe, jb, pw, pn.LeftKey, capRows)
 		ji.node = node
 		return ji, pw + bw, node, nil
 
 	case OpAggregate:
-		child, width, childNode, err := openBatch(db, pn.Children[0], capRows)
+		child, width, childNode, err := openBatch(db, pn.Children[0], capRows, ov)
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -184,18 +210,41 @@ func (f *batchFilterIter) Next(dst *batch.Batch) bool {
 	}
 }
 
-// batchHashJoinIter builds the right child once into a contiguous arena of
-// build rows plus a key → row-index map, then streams probe batches,
-// appending concatenated output rows without any per-row allocation. The
-// arena copy also severs aliasing with the build source's reused buffers.
-type batchHashJoinIter struct {
-	probe                batchIterator
-	node                 *ExecNode
-	leftKey              int
-	probeCols, buildCols int
-
+// joinBuild is the one-time build side of a hash join: a contiguous arena
+// of build rows plus a key → row-index map. The arena copy severs aliasing
+// with the build source's reused buffers. After construction a joinBuild
+// is read-only, so the parallel executor shares one build across all
+// workers' probe iterators (build once, probe concurrently).
+type joinBuild struct {
 	arena []int64           // build rows, row-major
 	idx   map[int64][]int32 // build key -> row indices into arena
+	cols  int               // build row width
+}
+
+// newJoinBuild drains the build-side iterator into the arena + index.
+func newJoinBuild(build batchIterator, rightKey, buildCols, capRows int) *joinBuild {
+	jb := &joinBuild{idx: make(map[int64][]int32), cols: buildCols}
+	b := batch.New(buildCols, capRows)
+	var n int32
+	for build.Next(b) {
+		jb.arena = append(jb.arena, b.Data()...)
+		for i := 0; i < b.Len(); i++ {
+			k := b.Row(i)[rightKey]
+			jb.idx[k] = append(jb.idx[k], n)
+			n++
+		}
+	}
+	return jb
+}
+
+// batchHashJoinIter streams probe batches against a joinBuild, appending
+// concatenated output rows without any per-row allocation.
+type batchHashJoinIter struct {
+	probe     batchIterator
+	node      *ExecNode
+	leftKey   int
+	probeCols int
+	build     *joinBuild
 
 	// probe cursor, carried across Next calls when dst fills mid-batch
 	pbatch  *batch.Batch
@@ -206,37 +255,37 @@ type batchHashJoinIter struct {
 	done    bool
 }
 
-func newBatchHashJoinIter(probe, build batchIterator, probeCols, buildCols int, pn *PlanNode, capRows int) *batchHashJoinIter {
-	h := &batchHashJoinIter{
+func newBatchHashJoinIter(probe batchIterator, jb *joinBuild, probeCols, leftKey, capRows int) *batchHashJoinIter {
+	return &batchHashJoinIter{
 		probe:     probe,
-		leftKey:   pn.LeftKey,
+		leftKey:   leftKey,
 		probeCols: probeCols,
-		buildCols: buildCols,
-		idx:       make(map[int64][]int32),
+		build:     jb,
 		pbatch:    batch.New(probeCols, capRows),
 	}
-	b := batch.New(buildCols, capRows)
-	var n int32
-	for build.Next(b) {
-		h.arena = append(h.arena, b.Data()...)
-		for i := 0; i < b.Len(); i++ {
-			k := b.Row(i)[pn.RightKey]
-			h.idx[k] = append(h.idx[k], n)
-			n++
-		}
-	}
-	return h
+}
+
+// reset clears the probe-side cursor so the iterator can serve a fresh
+// probe source (the parallel executor reuses one iterator per worker
+// across morsels). The shared build state is untouched.
+func (h *batchHashJoinIter) reset() {
+	h.pbatch.Reset()
+	h.pi = 0
+	h.cur = nil
+	h.matches = nil
+	h.mi = 0
+	h.done = false
 }
 
 func (h *batchHashJoinIter) Next(dst *batch.Batch) bool {
 	dst.Reset()
-	bw := h.buildCols
+	bw := h.build.cols
 	for !dst.Full() {
 		if h.mi < len(h.matches) {
 			out := dst.Append()
 			copy(out, h.cur)
 			bi := int(h.matches[h.mi]) * bw
-			copy(out[h.probeCols:], h.arena[bi:bi+bw])
+			copy(out[h.probeCols:], h.build.arena[bi:bi+bw])
 			h.mi++
 			continue
 		}
@@ -252,7 +301,7 @@ func (h *batchHashJoinIter) Next(dst *batch.Batch) bool {
 		}
 		h.cur = h.pbatch.Row(h.pi)
 		h.pi++
-		h.matches = h.idx[h.cur[h.leftKey]]
+		h.matches = h.build.idx[h.cur[h.leftKey]]
 		h.mi = 0
 	}
 	n := dst.Len()

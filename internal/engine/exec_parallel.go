@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"runtime"
+	"sort"
+
+	"repro/internal/batch"
+	"repro/internal/parallel"
+)
+
+// Morsel-driven parallel execution. Because a dataless scan is a pure
+// function of the summary — any row range of a relation can be generated
+// independently — the probe side of a plan's scan→filter(→probe) pipeline
+// splits into contiguous row-range morsels that workers pull from a shared
+// atomic queue. Hash-join build sides are consumed once, sequentially,
+// into read-only joinBuild arenas shared by every worker; each worker
+// probes them with its own pipeline, accumulating per-operator
+// cardinalities into worker-local shadow ExecNodes. The merge is
+// deterministic: shadow counts are summed in worker order (addition makes
+// the result schedule-independent) and sample rows are re-assembled in
+// morsel order, so the ExecResult is byte-identical to the sequential
+// batched executor's, regardless of worker count or scheduling.
+
+// ExecuteParallel runs the plan on opts.Parallelism workers (<= 0 selects
+// GOMAXPROCS; the value is honored verbatim, without Execute's clamp, so
+// callers can oversubscribe deliberately). Plans whose probe-side scan
+// cannot be partitioned — a velocity-paced stream or a caller-supplied
+// datagen source — fall back to the sequential batched executor, which
+// produces the identical result.
+func ExecuteParallel(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pp, fallback, err := openParallel(db, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	if pp == nil {
+		// Not partitionable. If the leaf scan was already opened to probe
+		// its capability, hand it to the sequential path — a table's
+		// DatagenFunc is invoked once per scan, never twice.
+		return executeBatchedFrom(db, plan, opts, fallback)
+	}
+	return pp.run(workers, opts)
+}
+
+// joinStage is one hash join of the probe spine: the shared read-only
+// build state plus what a worker needs to instantiate its probe iterator.
+type joinStage struct {
+	jb        *joinBuild
+	leftKey   int
+	probeCols int
+	node      *ExecNode // real (merged) node
+}
+
+// parallelPlan is a plan opened for morsel-driven execution: the probe
+// spine decomposed into scan → optional filter → join stages (innermost
+// first), with all build sides already consumed into shared arenas.
+type parallelPlan struct {
+	src      parallel.Source
+	scanNode *ExecNode
+
+	filterPn   *PlanNode // nil when the scan is unfiltered
+	filterNode *ExecNode
+
+	stages []joinStage // innermost (nearest the scan) first
+
+	agg     bool
+	aggNode *ExecNode
+
+	root  *ExecNode
+	width int // output width of the spine top (below any aggregate)
+}
+
+// spineNodes lists the real probe-spine ExecNodes in merge order.
+func (pp *parallelPlan) spineNodes() []*ExecNode {
+	nodes := []*ExecNode{pp.scanNode}
+	if pp.filterNode != nil {
+		nodes = append(nodes, pp.filterNode)
+	}
+	for i := range pp.stages {
+		nodes = append(nodes, pp.stages[i].node)
+	}
+	return nodes
+}
+
+// openParallel decomposes the plan into probe spine + build sides. A nil
+// parallelPlan (with nil error) means the plan is not morsel-partitionable
+// — the leaf scan's source lacks the parallel.Source contract or the
+// spine has an unexpected shape — and the caller must fall back to
+// sequential execution; the returned scanOverride then carries the
+// already-opened leaf source, if any, so it is reused rather than opened
+// a second time.
+func openParallel(db *Database, plan *Plan, opts ExecOptions) (*parallelPlan, *scanOverride, error) {
+	pp := &parallelPlan{}
+	pn := plan.Root
+	if pn.Op == OpAggregate {
+		pp.agg = true
+		pn = pn.Children[0]
+	}
+	// Collect the probe spine top-down: joins, then an optional filter,
+	// then the leaf scan.
+	var joinPns []*PlanNode // outermost first
+	for pn.Op == OpHashJoin {
+		joinPns = append(joinPns, pn)
+		pn = pn.Children[0]
+	}
+	if pn.Op == OpFilter {
+		pp.filterPn = pn
+		pn = pn.Children[0]
+	}
+	if pn.Op != OpScan {
+		return nil, nil, nil
+	}
+
+	// The leaf must expose a partitionable row space before any build-side
+	// work is worth doing.
+	src, err := db.openBatchScan(pn.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps, ok := src.(parallel.Source)
+	if !ok {
+		return nil, &scanOverride{table: pn.Table, src: src}, nil
+	}
+	pp.src = ps
+
+	// Real ExecNode tree, mirroring openBatch's shape exactly.
+	pp.scanNode = &ExecNode{Op: OpScan.String(), Table: pn.Table}
+	width := len(db.Schema.Table(pn.Table).Columns)
+	cur := pp.scanNode
+	if fp := pp.filterPn; fp != nil {
+		table := db.Schema.Table(fp.Pred.Table)
+		pp.filterNode = &ExecNode{Op: OpFilter.String(), Table: fp.Pred.Table, PredSQL: fp.Pred.SQL(table), Children: []*ExecNode{cur}}
+		cur = pp.filterNode
+	}
+	// Build sides are consumed innermost-first (the order the sequential
+	// executor drains them in); each becomes a shared read-only arena.
+	for i := len(joinPns) - 1; i >= 0; i-- {
+		jpn := joinPns[i]
+		buildIt, bw, buildNode, err := openBatch(db, jpn.Children[1], opts.BatchSize, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		jb := newJoinBuild(buildIt, jpn.RightKey, bw, opts.BatchSize)
+		node := &ExecNode{Op: OpHashJoin.String(), JoinSQL: jpn.JoinSQL, Children: []*ExecNode{cur, buildNode}}
+		pp.stages = append(pp.stages, joinStage{jb: jb, leftKey: jpn.LeftKey, probeCols: width, node: node})
+		width += bw
+		cur = node
+	}
+	pp.width = width
+	pp.root = cur
+	if pp.agg {
+		pp.aggNode = &ExecNode{Op: OpAggregate.String(), Children: []*ExecNode{cur}}
+		pp.root = pp.aggNode
+	}
+	return pp, nil, nil
+}
+
+// morselRows picks the scheduling granule: bounded above by the default
+// morsel size, bounded below by the batch capacity (a morsel smaller than
+// one batch would only add setup overhead), and scaled so every worker
+// sees several morsels even on small relations.
+func morselRows(total int64, workers, batchSize int) int64 {
+	if batchSize <= 0 {
+		batchSize = batch.DefaultCap
+	}
+	m := total / int64(workers*4)
+	if m > parallel.DefaultMorselRows {
+		m = parallel.DefaultMorselRows
+	}
+	if b := int64(batchSize); m < b {
+		m = b
+	}
+	return m
+}
+
+// sampleRun is the samples one worker collected from one morsel, tagged
+// with the morsel's row offset so the sequential sample order can be
+// reassembled deterministically.
+type sampleRun struct {
+	lo   int64
+	rows [][]int64
+}
+
+// workerState is one worker's private accumulation: shadow ExecNodes for
+// the spine (merged by summation afterwards), the count of rows the spine
+// top produced, and morsel-tagged samples.
+type workerState struct {
+	shadow []*ExecNode
+	rows   int64
+	runs   []sampleRun
+}
+
+// run executes the opened plan on the given number of workers and merges
+// worker state into the sequential-identical ExecResult.
+func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) {
+	total := pp.src.Total()
+	size := morselRows(total, workers, opts.BatchSize)
+	// A worker beyond the morsel count would build a pipeline only to find
+	// the queue empty; clamping costs nothing and changes nothing (the
+	// merge is a sum). The clamp depends only on plan and options, so
+	// determinism is preserved.
+	if n := (total + size - 1) / size; int64(workers) > n {
+		workers = int(n)
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	morsels := parallel.NewMorsels(total, size)
+	collectSamples := opts.SampleLimit > 0 && !pp.agg
+
+	states := make([]*workerState, workers)
+	for w := range states {
+		states[w] = &workerState{}
+	}
+
+	err := parallel.Run(workers, func(w int) error {
+		st := states[w]
+		// Worker-local pipeline over shadow nodes; the scan source is
+		// swapped per morsel, join iterators reset their probe cursors.
+		scanShadow := &ExecNode{}
+		st.shadow = append(st.shadow, scanShadow)
+		scanIt := &batchScanIter{node: scanShadow}
+		var cur batchIterator = scanIt
+		if fp := pp.filterPn; fp != nil {
+			filterShadow := &ExecNode{}
+			st.shadow = append(st.shadow, filterShadow)
+			m := fp.Pred.Matcher()
+			f := &batchFilterIter{child: cur, m: m, ranges: m.AllRanges(), node: filterShadow}
+			f.col, f.lo, f.hi, f.single = m.Single()
+			cur = f
+		}
+		joinIts := make([]*batchHashJoinIter, len(pp.stages))
+		for i := range pp.stages {
+			stage := &pp.stages[i]
+			joinShadow := &ExecNode{}
+			st.shadow = append(st.shadow, joinShadow)
+			ji := newBatchHashJoinIter(cur, stage.jb, stage.probeCols, stage.leftKey, opts.BatchSize)
+			ji.node = joinShadow
+			joinIts[i] = ji
+			cur = ji
+		}
+		b := batch.New(pp.width, opts.BatchSize)
+		for {
+			lo, hi, ok := morsels.Next()
+			if !ok {
+				return nil
+			}
+			scanIt.src = pp.src.Section(lo, hi)
+			for _, ji := range joinIts {
+				ji.reset()
+			}
+			run := sampleRun{lo: lo}
+			for cur.Next(b) {
+				n := b.Len()
+				st.rows += int64(n)
+				for i := 0; collectSamples && len(run.rows) < opts.SampleLimit && i < n; i++ {
+					run.rows = append(run.rows, append([]int64(nil), b.Row(i)...))
+				}
+			}
+			if len(run.rows) > 0 {
+				st.runs = append(st.runs, run)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: per-node sums are schedule-independent, and
+	// samples reassemble in morsel (= sequential row) order.
+	spine := pp.spineNodes()
+	for i, node := range spine {
+		var sum int64
+		for _, st := range states {
+			sum += st.shadow[i].OutRows
+		}
+		node.OutRows = sum
+	}
+	var outRows int64
+	for _, st := range states {
+		outRows += st.rows
+	}
+
+	res := &ExecResult{Root: pp.root}
+	if pp.agg {
+		res.Rows = 1
+		res.Count = outRows
+		pp.aggNode.OutRows = 1
+		if opts.SampleLimit > 0 {
+			res.Sample = [][]int64{{outRows}}
+		}
+	} else {
+		res.Rows = outRows
+		if collectSamples {
+			var runs []sampleRun
+			for _, st := range states {
+				runs = append(runs, st.runs...)
+			}
+			sort.Slice(runs, func(i, j int) bool { return runs[i].lo < runs[j].lo })
+			for _, r := range runs {
+				for _, row := range r.rows {
+					if len(res.Sample) >= opts.SampleLimit {
+						break
+					}
+					res.Sample = append(res.Sample, row)
+				}
+			}
+		}
+	}
+	pp.root.OutRows = res.Rows
+	return res, nil
+}

@@ -105,3 +105,13 @@ func TestE10Ablation(t *testing.T) {
 		t.Error("ablation variant missing")
 	}
 }
+
+func TestE11Parallel(t *testing.T) {
+	var sb strings.Builder
+	if err := E11Parallel(&sb, smallConfig(), []int{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "answers identical at every worker count") {
+		t.Errorf("E11 output missing identity line:\n%s", sb.String())
+	}
+}

@@ -13,6 +13,8 @@
 package generator
 
 import (
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/batch"
@@ -27,14 +29,32 @@ import (
 // batch.Source. Use one access style per stream — Next buffers rows
 // internally, so interleaving it with direct NextBatch calls would skip
 // the buffered tail.
+//
+// Because generation is a pure function of the summary, a stream's row
+// space is partitionable: SeekRow repositions to any global tuple index,
+// Section opens an independent sub-stream over a row range, and Partition
+// splits the stream n ways. The concatenation of a partition's outputs is
+// byte-identical to the sequential stream, which is what lets the engine's
+// morsel-driven executor fan generation out across workers.
 type Stream struct {
 	table *schema.Table
 	rel   *summary.Relation
 	pkIdx int
 
+	base int64 // first global tuple index this stream produces
+	end  int64 // exclusive global bound (rel.Total for full streams)
+
 	rowIdx int   // current summary row
 	within int64 // tuples already emitted from the current summary row
 	pk     int64 // next primary key (global tuple index)
+
+	// cum, shared by all sections of one parent stream, holds the
+	// cumulative tuple counts of the summary rows: cum[j] = Σ Rows[:j].Count
+	// (len(Rows)+1 entries). Built lazily on the first seek; SeekRow binary
+	// searches it to land on the right summary row. cumOnce guards the
+	// build: the parallel executor calls Section concurrently from workers.
+	cum     []int64
+	cumOnce sync.Once
 
 	// Row-at-a-time adapter state: Next serves views into buf.
 	buf    *batch.Batch
@@ -48,11 +68,119 @@ func NewStream(t *schema.Table, rel *summary.Relation) *Stream {
 		table: t,
 		rel:   rel,
 		pkIdx: t.PKIndex(),
+		end:   rel.Total,
 	}
 }
 
-// Total returns the number of tuples the stream will produce.
-func (s *Stream) Total() int64 { return s.rel.Total }
+// Total returns the number of tuples the stream will produce in full (for
+// a Section or Partition sub-stream, the length of its row range).
+func (s *Stream) Total() int64 { return s.end - s.base }
+
+// cumCounts returns the relation's cumulative tuple counts, building them
+// on first use and sharing the slice with every section of this stream.
+// Safe for concurrent callers (workers sectioning one parent stream).
+func (s *Stream) cumCounts() []int64 {
+	s.cumOnce.Do(func() {
+		if s.cum != nil {
+			return // a section constructed with the parent's index
+		}
+		cum := make([]int64, len(s.rel.Rows)+1)
+		for j := range s.rel.Rows {
+			cum[j+1] = cum[j] + s.rel.Rows[j].Count
+		}
+		s.cum = cum
+	})
+	return s.cum
+}
+
+// SeekRow repositions the stream so the next tuple produced is row i of
+// this stream's own row range (clamped to [0, Total()]) — for a full
+// stream that is global tuple i; for a Section or Partition sub-stream it
+// is relative to the sub-range, mirroring how the engine's stored-relation
+// cursor slices. The summary row holding the tuple is found by binary
+// search over the cumulative counts, and the offset within that row
+// phase-aligns every cycling-interval cursor: the sought tuple's cycling
+// values are identical to what sequential generation would have produced,
+// so seeking never perturbs the stream's deterministic content.
+func (s *Stream) SeekRow(i int64) {
+	if i < 0 {
+		i = 0
+	}
+	if n := s.end - s.base; i > n {
+		i = n
+	}
+	g := s.base + i // global tuple index
+	cum := s.cumCounts()
+	// Smallest j with cum[j+1] > g: summary row j holds tuple g. For
+	// g == Total the search lands past the last row, exhausting the stream.
+	j := sort.Search(len(s.rel.Rows), func(j int) bool { return cum[j+1] > g })
+	s.rowIdx = j
+	if j < len(s.rel.Rows) {
+		s.within = g - cum[j]
+	} else {
+		s.within = 0
+	}
+	s.pk = g
+	// Invalidate the row-at-a-time view: buffered rows predate the seek.
+	s.flat = nil
+	s.cursor = 0
+}
+
+// section returns an independent sub-stream over rows [lo, hi) of s's own
+// row range, sharing the (immutable) cumulative-count index.
+func (s *Stream) section(lo, hi int64) *Stream {
+	n := s.end - s.base
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	sub := &Stream{
+		table: s.table,
+		rel:   s.rel,
+		pkIdx: s.pkIdx,
+		cum:   s.cumCounts(),
+		base:  s.base + lo,
+		end:   s.base + hi,
+	}
+	sub.SeekRow(0)
+	return sub
+}
+
+// Section opens an independent sub-stream over rows [lo, hi) of this
+// stream's own row range (bounds clamped; for a full stream these are
+// global tuple indices, and sections nest). Sections of one parent may be
+// consumed concurrently — each carries its own cursor — and their
+// concatenation in range order reproduces the parent exactly. Together
+// with Total this implements the parallel.Source contract the engine's
+// morsel-driven executor schedules over.
+func (s *Stream) Section(lo, hi int64) batch.Source { return s.section(lo, hi) }
+
+// Partition splits the stream's own row range into n contiguous
+// sub-streams of near-equal size (n < 1 is treated as 1). When n exceeds
+// the number of tuples the trailing sub-streams are empty. The
+// concatenation of the partitions' outputs is byte-identical to the
+// receiver's output; partitions of partitions nest accordingly.
+func (s *Stream) Partition(n int) []*Stream {
+	if n < 1 {
+		n = 1
+	}
+	total := s.end - s.base
+	parts := make([]*Stream, n)
+	for k := 0; k < n; k++ {
+		lo := total * int64(k) / int64(n)
+		hi := total * int64(k+1) / int64(n)
+		parts[k] = s.section(lo, hi)
+	}
+	return parts
+}
 
 // Cols returns the width of generated rows.
 func (s *Stream) Cols() int { return len(s.table.Columns) }
@@ -83,11 +211,12 @@ func (s *Stream) Next() ([]int64, bool) {
 const tileRows = 128
 
 // NextBatch resets dst and fills it with up to dst.Cap() generated rows,
-// reporting whether any were produced. dst must have width Cols().
+// reporting whether any were produced. dst must have width Cols(). A
+// Section or Partition sub-stream stops at its range's upper bound.
 func (s *Stream) NextBatch(dst *batch.Batch) bool {
 	dst.Reset()
 	ncols := len(s.table.Columns)
-	for !dst.Full() && s.rowIdx < len(s.rel.Rows) {
+	for !dst.Full() && s.pk < s.end && s.rowIdx < len(s.rel.Rows) {
 		row := &s.rel.Rows[s.rowIdx]
 		if s.within >= row.Count {
 			s.rowIdx++
@@ -97,6 +226,9 @@ func (s *Stream) NextBatch(dst *batch.Batch) bool {
 		k := row.Count - s.within
 		if k > tileRows {
 			k = tileRows
+		}
+		if left := s.end - s.pk; k > left {
+			k = left
 		}
 		if free := int64(dst.Cap() - dst.Len()); k > free {
 			k = free
@@ -172,6 +304,11 @@ type Paced struct {
 	interval time.Duration // time budget per row
 	due      time.Time     // when the next row is due
 	started  bool
+
+	// now and sleep are the limiter's clock, injectable by tests so the
+	// absolute schedule can be pinned without real sleeping.
+	now   func() time.Time
+	sleep func(time.Duration)
 }
 
 // maxBurstBehind caps how far the schedule may fall behind a slow consumer;
@@ -182,7 +319,7 @@ const maxBurstBehind = 100 * time.Millisecond
 func NewPaced(src interface {
 	Next() ([]int64, bool)
 }, rowsPerSec float64) *Paced {
-	p := &Paced{src: src}
+	p := &Paced{src: src, now: time.Now, sleep: time.Sleep}
 	if rowsPerSec > 0 {
 		p.interval = time.Duration(float64(time.Second) / rowsPerSec)
 	}
@@ -201,23 +338,30 @@ func (p *Paced) Next() ([]int64, bool) {
 }
 
 // NextBatch produces the next batch no sooner than the rate allows,
-// crediting the whole batch against the absolute schedule. When the
-// wrapped source is not batch-capable the batch is assembled row by row.
+// crediting exactly the rows the batch actually holds against the
+// absolute schedule — a partial final batch advances the schedule by its
+// own length, not the batch capacity, so tiny trailing batches cannot
+// drift the achieved rate. When the wrapped source is not batch-capable
+// the batch is assembled row by row (unpaced) and then credited wholesale,
+// identical to the batch-capable path; in particular the Next call that
+// discovers exhaustion no longer charges a phantom row.
 func (p *Paced) NextBatch(dst *batch.Batch) bool {
-	bs, ok := p.src.(batch.Source)
-	if !ok {
+	if bs, ok := p.src.(batch.Source); ok {
+		if !bs.NextBatch(dst) {
+			return false
+		}
+	} else {
 		dst.Reset()
 		for !dst.Full() {
-			row, ok := p.Next()
+			row, ok := p.src.Next()
 			if !ok {
 				break
 			}
 			copy(dst.Append(), row)
 		}
-		return dst.Len() > 0
-	}
-	if !bs.NextBatch(dst) {
-		return false
+		if dst.Len() == 0 {
+			return false
+		}
 	}
 	if p.interval > 0 {
 		p.pace(int64(dst.Len()))
@@ -228,13 +372,13 @@ func (p *Paced) NextBatch(dst *batch.Batch) bool {
 // pace blocks until the next row is due, then advances the schedule by n
 // rows.
 func (p *Paced) pace(n int64) {
-	now := time.Now()
+	now := p.now()
 	if !p.started {
 		p.started = true
 		p.due = now
 	}
 	if wait := p.due.Sub(now); wait > time.Millisecond {
-		time.Sleep(wait)
+		p.sleep(wait)
 	} else if wait < -maxBurstBehind {
 		p.due = now.Add(-maxBurstBehind)
 	}

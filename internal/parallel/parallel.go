@@ -1,0 +1,48 @@
+// Package parallel is Hydra's morsel-driven parallelism subsystem. Because
+// every relation is a pure function of its summary — atom i's tuples occupy
+// a fixed, contiguous primary-key interval — generation (and therefore
+// dataless query execution) is embarrassingly partitionable: any row range
+// [lo, hi) of a relation can be produced independently of any other. This
+// package supplies the two scheduling primitives the engine's parallel
+// executor builds on:
+//
+//   - Morsels: an atomic work queue handing out contiguous row ranges
+//     ("morsels", after Leis et al.'s morsel-driven parallelism) of a
+//     relation's [0, Total) row space, so workers self-balance instead of
+//     being assigned static partitions.
+//   - Run: a fixed worker pool that runs one function per worker and
+//     collects the first error deterministically (lowest worker index).
+//
+// The Source interface names the contract a scan source must satisfy to be
+// morsel-partitionable; generator.Stream and the engine's stored-relation
+// cursor both implement it.
+package parallel
+
+import "sync"
+
+// Run executes fn on n concurrent workers (n < 1 is treated as 1), passing
+// each its worker index in [0, n), and waits for all of them. If any worker
+// returns an error, Run returns the error of the lowest-indexed failing
+// worker — a deterministic choice, so error surfaces do not depend on
+// goroutine scheduling.
+func Run(n int, fn func(worker int) error) error {
+	if n < 1 {
+		n = 1
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = fn(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

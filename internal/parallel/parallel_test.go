@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMorselsCoverExactlyOnce(t *testing.T) {
+	cases := []struct {
+		total, size int64
+	}{
+		{0, 4},    // empty row space: no morsels
+		{3, 16},   // total smaller than one morsel
+		{16, 4},   // exact multiple
+		{17, 4},   // short final morsel
+		{1000, 7}, // many morsels
+		{5, 1},    // single-row morsels
+		{100, -1}, // default size
+		{-5, 4},   // negative total treated as empty
+	}
+	for _, tc := range cases {
+		m := NewMorsels(tc.total, tc.size)
+		total := tc.total
+		if total < 0 {
+			total = 0
+		}
+		covered := make([]int32, total)
+		err := Run(8, func(worker int) error {
+			for {
+				lo, hi, ok := m.Next()
+				if !ok {
+					return nil
+				}
+				if lo < 0 || hi > total || lo >= hi {
+					return fmt.Errorf("bad morsel [%d,%d) of %d", lo, hi, total)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("total=%d size=%d: %v", tc.total, tc.size, err)
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("total=%d size=%d: row %d covered %d times", tc.total, tc.size, i, c)
+			}
+		}
+		if _, _, ok := m.Next(); ok {
+			t.Fatalf("total=%d size=%d: morsels not exhausted", tc.total, tc.size)
+		}
+	}
+}
+
+func TestMorselsAscendingAndSized(t *testing.T) {
+	m := NewMorsels(103, 10)
+	var prev int64 = -1
+	for {
+		lo, hi, ok := m.Next()
+		if !ok {
+			break
+		}
+		if lo <= prev {
+			t.Fatalf("morsel lo %d not ascending after %d", lo, prev)
+		}
+		if hi-lo > 10 {
+			t.Fatalf("morsel [%d,%d) exceeds size", lo, hi)
+		}
+		prev = lo
+	}
+}
+
+func TestRunWorkerIndices(t *testing.T) {
+	var seen [5]int32
+	if err := Run(5, func(w int) error {
+		atomic.AddInt32(&seen[w], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for w, c := range seen {
+		if c != 1 {
+			t.Fatalf("worker %d ran %d times", w, c)
+		}
+	}
+}
+
+func TestRunReturnsLowestWorkerError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Workers 1 and 3 fail; Run must deterministically surface worker 1's
+	// error regardless of scheduling.
+	for trial := 0; trial < 20; trial++ {
+		err := Run(4, func(w int) error {
+			switch w {
+			case 1:
+				return errA
+			case 3:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("trial %d: got %v, want %v", trial, err, errA)
+		}
+	}
+}
+
+func TestRunClampsWorkerCount(t *testing.T) {
+	var n int32
+	var mu sync.Mutex
+	workers := map[int]bool{}
+	if err := Run(0, func(w int) error {
+		atomic.AddInt32(&n, 1)
+		mu.Lock()
+		workers[w] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !workers[0] {
+		t.Fatalf("Run(0) ran %d workers (%v), want exactly worker 0", n, workers)
+	}
+}

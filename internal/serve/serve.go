@@ -1,0 +1,167 @@
+// Package serve is Hydra's concurrent query front end: an HTTP server
+// (stdlib net/http + encoding/json only) over one loaded database summary.
+// It demonstrates the regenerator as a service — many concurrent clients
+// issuing SQL against a database holding zero stored rows, each query's
+// scans regenerated on the fly and, when Parallelism is enabled, fanned
+// out across workers by the engine's morsel-driven executor.
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "SELECT COUNT(*) FROM ..."} →
+//	               {"count", "rows", "sample", "plan", "elapsed_ns", ...}
+//	GET  /healthz  {"status": "ok", "tables": N, ...}
+//
+// The handler is safe for concurrent use: the underlying dataless
+// database is read-only after construction and every request opens fresh
+// scan state.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqlkit"
+	"repro/internal/summary"
+)
+
+// Options configure the server.
+type Options struct {
+	// Parallelism is passed to every query's ExecOptions (clamped by the
+	// engine into [0, GOMAXPROCS]); 0 executes sequentially.
+	Parallelism int
+	// BatchSize overrides the execution batch capacity (0 = default).
+	BatchSize int
+	// SampleLimit caps how many result rows a response carries (decoded
+	// result sets can be arbitrarily large; COUNT(*) responses are exact
+	// regardless).
+	SampleLimit int
+	// RowsPerSec throttles regeneration per scan (0 = unlimited). A
+	// positive rate disables parallel execution (paced streams are
+	// serial), which the engine handles by transparent fallback.
+	RowsPerSec float64
+}
+
+// Server serves queries against one summary's dataless database.
+type Server struct {
+	sum  *summary.Database
+	db   *engine.Database
+	opts Options
+}
+
+// New builds a server over the summary.
+func New(sum *summary.Database, opts Options) *Server {
+	return &Server{sum: sum, db: core.RegenDatabase(sum, opts.RowsPerSec), opts: opts}
+}
+
+// Handler returns the HTTP handler exposing the query and health
+// endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/query", s.handleQuery)
+	return mux
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// QueryResponse is the POST /query reply: the COUNT value (for COUNT(*)
+// queries), output cardinality, a bounded sample of output rows, the
+// cardinality-annotated operator tree, and timing.
+type QueryResponse struct {
+	SQL         string           `json:"sql"`
+	Count       int64            `json:"count"`
+	Rows        int64            `json:"rows"`
+	Sample      [][]int64        `json:"sample,omitempty"`
+	Plan        *engine.ExecNode `json:"plan"`
+	Parallelism int              `json:"parallelism"`
+	ElapsedNS   int64            `json:"elapsed_ns"`
+}
+
+// HealthResponse is the GET /healthz reply.
+type HealthResponse struct {
+	Status      string `json:"status"`
+	Tables      int    `json:"tables"`
+	Parallelism int    `json:"parallelism"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:      "ok",
+		Tables:      len(s.sum.Relations),
+		Parallelism: s.opts.Parallelism,
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request has no sql"))
+		return
+	}
+	q, err := sqlkit.Parse(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := engine.BuildPlan(s.db.Schema, q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := engine.ExecOptions{
+		SampleLimit: s.opts.SampleLimit,
+		BatchSize:   s.opts.BatchSize,
+		Parallelism: s.opts.Parallelism,
+	}
+	start := time.Now()
+	res, err := engine.Execute(s.db, plan, opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		SQL:         req.SQL,
+		Count:       res.Count,
+		Rows:        res.Rows,
+		Sample:      res.Sample,
+		Plan:        res.Root,
+		Parallelism: s.opts.Parallelism,
+		ElapsedNS:   time.Since(start).Nanoseconds(),
+	})
+}
+
+// errorResponse is the JSON error body every non-2xx reply carries.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding into an in-memory value cannot fail for these types; a
+	// broken connection mid-write is the client's problem.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqlkit"
+	"repro/internal/summary"
+	"repro/internal/toy"
+)
+
+// buildToySummary captures the toy workload and builds its summary.
+func buildToySummary(t *testing.T) *summary.Database {
+	t.Helper()
+	db, err := toy.Database(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := core.CaptureClient(db, toy.Workload(), core.CaptureOptions{SkipStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _, err := core.BuildFromPackage(pkg, summary.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// seqCount executes sql sequentially against a fresh dataless database,
+// the reference every served answer is held to.
+func seqCount(t *testing.T, sum *summary.Database, sql string) *engine.ExecResult {
+	t.Helper()
+	db := core.RegenDatabase(sum, 0)
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := engine.BuildPlan(db.Schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Execute(db, plan, engine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func postQuery(t *testing.T, url, sql string) (*http.Response, QueryResponse) {
+	t.Helper()
+	body, _ := json.Marshal(QueryRequest{SQL: sql})
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, qr
+}
+
+// TestServeSmoke is the serve-endpoint smoke test: start a server over a
+// built summary, issue every toy workload query, and assert each served
+// COUNT matches sequential in-process execution.
+func TestServeSmoke(t *testing.T) {
+	sum := buildToySummary(t)
+	ts := httptest.NewServer(New(sum, Options{Parallelism: 2, SampleLimit: 3}).Handler())
+	defer ts.Close()
+
+	// Health first.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hr.Status != "ok" || hr.Tables != len(sum.Relations) {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, hr)
+	}
+
+	for _, sql := range toy.Workload() {
+		want := seqCount(t, sum, sql)
+		resp, qr := postQuery(t, ts.URL, sql)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", sql, resp.StatusCode)
+		}
+		if qr.Count != want.Count || qr.Rows != want.Rows {
+			t.Fatalf("%s: served count/rows %d/%d, want %d/%d", sql, qr.Count, qr.Rows, want.Count, want.Rows)
+		}
+		if qr.Plan == nil || qr.Plan.OutRows != want.Root.OutRows {
+			t.Fatalf("%s: served plan %+v, want root out_rows %d", sql, qr.Plan, want.Root.OutRows)
+		}
+	}
+}
+
+// TestServeConcurrentClients hammers one server from many goroutines —
+// the demonstration scenario: concurrent clients, one zero-row database —
+// and requires every answer to equal the sequential reference. Run under
+// -race this also proves the shared dataless database is race-free.
+func TestServeConcurrentClients(t *testing.T) {
+	sum := buildToySummary(t)
+	ts := httptest.NewServer(New(sum, Options{Parallelism: 4}).Handler())
+	defer ts.Close()
+
+	queries := toy.Workload()
+	want := make([]int64, len(queries))
+	for i, sql := range queries {
+		want[i] = seqCount(t, sum, sql).Count
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i, sql := range queries {
+				body, _ := json.Marshal(QueryRequest{SQL: sql})
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var qr QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if qr.Count != want[i] {
+					errs <- &countMismatch{sql: sql, got: qr.Count, want: want[i]}
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type countMismatch struct {
+	sql       string
+	got, want int64
+}
+
+func (e *countMismatch) Error() string {
+	return e.sql + ": served count mismatch"
+}
+
+// TestServeErrors exercises the failure surfaces: wrong method, bad JSON,
+// missing SQL, unparsable SQL, unknown table.
+func TestServeErrors(t *testing.T) {
+	sum := buildToySummary(t)
+	ts := httptest.NewServer(New(sum, Options{}).Handler())
+	defer ts.Close()
+
+	get, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query = %d, want 405", get.StatusCode)
+	}
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{"{not json", http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"sql": "SELEC nope"}`, http.StatusBadRequest},
+		{`{"sql": "SELECT COUNT(*) FROM no_such_table"}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var er errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("body %q: error reply is not JSON: %v", tc.body, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("body %q = %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+		if er.Error == "" {
+			t.Fatalf("body %q: empty error message", tc.body)
+		}
+	}
+}
