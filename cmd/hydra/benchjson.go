@@ -123,6 +123,65 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 		rows = append(rows, row(exec.name, r, float64(scanRows)))
 	}
 
+	// Steady-state prepared execution of the same query with full state
+	// reuse — the serve cache-hit regime. The scan→filter→count path is
+	// contractually allocation-free after warmup; a regression here fails
+	// the bench smoke rather than slipping into the trajectory unnoticed.
+	prep, err := engine.Prepare(regen, plan, engine.ExecOptions{})
+	if err != nil {
+		return err
+	}
+	var st engine.ExecState
+	if _, err := prep.ExecuteIn(&st, engine.ExecOptions{}); err != nil {
+		return err
+	}
+	steady := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.ExecuteIn(&st, engine.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	steadyRow := row("dataless_query_steady", steady, float64(scanRows))
+	if steadyRow.AllocsPerOp != 0 {
+		return fmt.Errorf("bench: steady-state dataless query allocates %d objects/op, want 0 (zero-allocation audit)", steadyRow.AllocsPerOp)
+	}
+	rows = append(rows, steadyRow)
+
+	// The reference fact-dimension join, fresh (build per execution) vs
+	// prepared (probe over shared arenas): the spread is what the serve
+	// plan/build cache removes from every steady-state request.
+	jq, err := sqlkit.Parse("SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk AND i_category = 'Music'")
+	if err != nil {
+		return err
+	}
+	jplan, err := engine.BuildPlan(regen.Schema, jq)
+	if err != nil {
+		return err
+	}
+	jrows := planInputRows(sum, jplan)
+	joinFresh := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Execute(regen, jplan, engine.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rows = append(rows, row("dataless_join_fresh", joinFresh, float64(jrows)))
+	jprep, err := engine.Prepare(regen, jplan, engine.ExecOptions{})
+	if err != nil {
+		return err
+	}
+	joinPrepared := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := jprep.Execute(engine.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rows = append(rows, row("dataless_join_prepared", joinPrepared, float64(jrows)))
+
 	// Morsel-driven parallel execution at 1/2/4/8 workers of the same
 	// query (ExecuteParallel honors the worker count verbatim, so the
 	// scaling series is meaningful on any host; speedup saturates at the

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"time"
 
+	"runtime/pprof"
+
 	"repro/internal/anonymize"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -247,12 +249,25 @@ func cmdScenario(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment id (E1..E11) or all")
+	exp := fs.String("exp", "all", "experiment id (E1..E12) or all")
 	sf := fs.Float64("sf", 1.0, "warehouse scale factor")
 	nq := fs.Int("queries", 131, "workload size")
 	seed := fs.Int64("seed", 7, "seed")
 	jsonOut := fs.Bool("json", false, "emit machine-readable micro-benchmark rows (one JSON object per line) instead of the experiment tables")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	fs.Parse(args)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("creating cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := experiments.Config{Seed: *seed, ScaleFactor: *sf, Queries: *nq}
 	if *jsonOut {
@@ -284,6 +299,7 @@ func cmdBench(args []string) error {
 		{"E9", func() error { return experiments.E9Referential(w, cfg, []float64{1, 0.5, 0.25}) }},
 		{"E10", func() error { return experiments.E10Ablation(w, cfg) }},
 		{"E11", func() error { return experiments.E11Parallel(w, cfg, []int{1, 2, 4, 8}) }},
+		{"E12", func() error { return experiments.E12Projection(w, cfg) }},
 	}
 	for _, s := range steps {
 		if err := run(s.id, s.fn); err != nil {

@@ -10,7 +10,7 @@
 //	hydra verify   -in pkg.json -summary summary.json [-worst 10]
 //	hydra scenario -in pkg.json -factor 1000 [-out scaled.json]
 //	hydra serve    -summary summary.json [-addr :8372] [-parallelism 8] [-rate 0]
-//	hydra bench    [-exp all|E1|…|E11] [-sf 1] [-queries 131] [-json]
+//	hydra bench    [-exp all|E1|…|E12] [-sf 1] [-queries 131] [-json]
 //
 // All artifacts are JSON; nothing touches a real database — the client
 // warehouse is the built-in synthetic TPC-DS-like generator (or the toy

@@ -65,6 +65,20 @@ type (
 	// BatchSource yields coded rows a batch at a time. The generator's
 	// Stream and its Paced wrapper both implement it.
 	BatchSource = batch.Source
+	// ColBatch is the column-major batch (one vector per populated column
+	// plus a selection vector) the engine's columnar executor moves rows
+	// in; the generator's Stream fills it under projection pushdown via
+	// NextColBatch.
+	ColBatch = batch.ColBatch
+
+	// Prepared is a plan readied for repeated execution: hash-join build
+	// sides are drained once into shared read-only arenas, so every
+	// Execute pays probe cost only. The serve front end caches one per
+	// normalized query.
+	Prepared = engine.Prepared
+	// ExecState is caller-owned reusable state for Prepared.ExecuteIn,
+	// the zero-allocation steady-state execution path.
+	ExecState = engine.ExecState
 
 	// AQP is a query with its cardinality-annotated plan.
 	AQP = aqp.AQP
@@ -153,6 +167,24 @@ func Query(db *Database, sql string, opts ExecOptions) (*ExecResult, error) {
 		return nil, err
 	}
 	return engine.Execute(db, plan, opts)
+}
+
+// Prepare parses, plans, and readies one SQL query for repeated execution
+// against db: hash-join build sides are consumed once into shared
+// read-only arenas, so each Prepared.Execute pays probe cost only —
+// identical results to Query, minus the build latency. For single-threaded
+// steady-state loops, Prepared.ExecuteIn additionally recycles all
+// per-execution state and runs allocation-free.
+func Prepare(db *Database, sql string, opts ExecOptions) (*Prepared, error) {
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.BuildPlan(db.Schema, q)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Prepare(db, plan, opts)
 }
 
 // Stream opens a raw tuple-generation stream for one table of the summary,

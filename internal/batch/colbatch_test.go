@@ -1,0 +1,73 @@
+package batch
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestColBatchPopulation(t *testing.T) {
+	b := NewCol(5, 8, []int{1, 3})
+	if b.Width() != 5 || b.Cap() != 8 || b.Len() != 0 || b.Live() != 0 {
+		t.Fatalf("fresh batch: width=%d cap=%d len=%d live=%d", b.Width(), b.Cap(), b.Len(), b.Live())
+	}
+	for c := 0; c < 5; c++ {
+		want := c == 1 || c == 3
+		if b.Populated(c) != want {
+			t.Fatalf("Populated(%d) = %v, want %v", c, b.Populated(c), want)
+		}
+		if (b.Col(c) != nil) != want {
+			t.Fatalf("Col(%d) nil-ness wrong", c)
+		}
+	}
+	if len(b.Col(1)) != 8 {
+		t.Fatalf("populated column length = %d, want cap 8", len(b.Col(1)))
+	}
+}
+
+func TestColBatchSelection(t *testing.T) {
+	b := NewCol(2, 8, []int{0, 1})
+	b.SetLen(4)
+	for i := 0; i < 4; i++ {
+		b.Col(0)[i] = int64(10 + i)
+		b.Col(1)[i] = int64(20 + i)
+	}
+	if b.Live() != 4 || b.Sel() != nil {
+		t.Fatalf("dense batch: live=%d sel=%v", b.Live(), b.Sel())
+	}
+	sel := append(b.SelBuf(), 1, 3)
+	b.SetSel(sel)
+	if b.Live() != 2 || b.Len() != 4 {
+		t.Fatalf("after sel: live=%d len=%d", b.Live(), b.Len())
+	}
+	row := make([]int64, 2)
+	b.LiveRow(0, row)
+	if !reflect.DeepEqual(row, []int64{11, 21}) {
+		t.Fatalf("live row 0 = %v", row)
+	}
+	b.LiveRow(1, row)
+	if !reflect.DeepEqual(row, []int64{13, 23}) {
+		t.Fatalf("live row 1 = %v", row)
+	}
+	// SetLen re-densifies; Reset empties but keeps storage.
+	b.SetLen(3)
+	if b.Sel() != nil || b.Live() != 3 {
+		t.Fatalf("SetLen did not clear selection")
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Live() != 0 || b.Sel() != nil {
+		t.Fatalf("Reset left state behind")
+	}
+}
+
+func TestColBatchDefaultCap(t *testing.T) {
+	b := NewCol(1, 0, []int{0})
+	if b.Cap() != DefaultCap {
+		t.Fatalf("cap = %d, want DefaultCap", b.Cap())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLen beyond capacity did not panic")
+		}
+	}()
+	b.SetLen(DefaultCap + 1)
+}

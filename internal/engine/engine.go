@@ -137,6 +137,42 @@ func (s *sliceSource) NextBatch(dst *batch.Batch) bool {
 	return dst.Len() > 0
 }
 
+// NextColBatch transposes stored rows into dst's projected columns,
+// implementing batch.ColProjector: only the requested columns are read or
+// written, mirroring the generator's projection pushdown.
+func (s *sliceSource) NextColBatch(dst *batch.ColBatch, cols []int) bool {
+	dst.Reset()
+	n := len(s.rows) - s.i
+	if n <= 0 {
+		return false
+	}
+	if n > dst.Cap() {
+		n = dst.Cap()
+	}
+	dst.SetLen(n)
+	rows := s.rows[s.i : s.i+n]
+	for _, c := range cols {
+		out := dst.Col(c)
+		for i, row := range rows {
+			out[i] = row[c]
+		}
+	}
+	s.i += n
+	return true
+}
+
+// SeekRow repositions the cursor to row i (clamped), so prepared
+// executions rewind a stored scan without reopening it.
+func (s *sliceSource) SeekRow(i int64) {
+	if i < 0 {
+		i = 0
+	}
+	if n := int64(len(s.rows)); i > n {
+		i = n
+	}
+	s.i = int(i)
+}
+
 // Total returns the number of stored rows, implementing (with Section) the
 // parallel.Source contract so stored relations are morsel-partitionable
 // like generator streams.

@@ -76,11 +76,11 @@ func (o ExecOptions) Normalize() (ExecOptions, error) {
 
 // Execute runs a plan against the database and returns the annotated
 // operator tree. Scans honor each table's datagen setting, so the same call
-// serves both stored and dataless execution. Execution is batched (see
-// exec_batch.go); with opts.Parallelism >= 1 it is also morsel-parallel
-// (see exec_parallel.go), with results byte-identical to the sequential
-// path. ExecuteRows is the row-at-a-time reference path and produces
-// identical results.
+// serves both stored and dataless execution. Execution is columnar with
+// projection pushdown and selection vectors (see exec_col.go); with
+// opts.Parallelism >= 1 it is also morsel-parallel (see exec_parallel.go),
+// with results byte-identical to the sequential path. ExecuteRows is the
+// row-at-a-time reference path and produces identical results.
 func Execute(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
@@ -89,7 +89,7 @@ func Execute(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
 	if opts.Parallelism >= 1 {
 		return ExecuteParallel(db, plan, opts)
 	}
-	return executeBatched(db, plan, opts)
+	return executeColumnar(db, plan, opts)
 }
 
 // ExecuteRows runs a plan one row at a time through pipelined iterators.

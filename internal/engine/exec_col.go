@@ -1,0 +1,505 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/pred"
+)
+
+// The columnar execution path — the engine's default. Operators move rows
+// in column-major batches (batch.ColBatch) under late materialization:
+// required-column analysis (plan.go) decides which columns each operator
+// must populate, scans expand only those columns from the summary, filters
+// flip a selection vector instead of compacting row data, and hash joins
+// read nothing but the key column until output materialization. Operator
+// semantics — scan order, filter order preservation, probe-order join
+// output, COUNT(*) — are identical to the row-at-a-time path in exec.go,
+// which the exec parity tests hold it to, byte for byte.
+
+// colIterator is the engine-internal columnar operator contract: Next
+// resets dst, fills it with up to dst.Cap() physical output rows (of which
+// Live() are selected), and reports whether it produced any. After the
+// first false return the operator is exhausted. rewind restores the
+// just-opened state for another execution of the same plan (the Prepared
+// reuse path), zeroing the operator's own ExecNode count; shared join
+// builds and their frozen build-side counts are untouched.
+type colIterator interface {
+	Next(dst *batch.ColBatch) bool
+	rewind(db *Database) error
+}
+
+// rowSeeker is the rewind capability of deterministic scan sources: the
+// generator's Stream and the stored-relation cursor both reposition to an
+// absolute row index.
+type rowSeeker interface {
+	SeekRow(int64)
+}
+
+// scanOverride hands an already-opened scan source to openCol, so a caller
+// that had to open a table's source to inspect it (the parallel executor
+// probing partitionability) does not invoke the table's DatagenFunc a
+// second time on fallback — the func's contract is one invocation per scan.
+// Self-joins are rejected at planning, so the table name identifies the
+// scan uniquely; used guards against regressions.
+type scanOverride struct {
+	table string
+	src   batch.Source
+	used  bool
+}
+
+// buildCache maps hash-join plan nodes to build state prepared ahead of
+// execution (Prepare): the shared read-only columnar arena plus the
+// build-side ExecNode subtree with its counts frozen at build time. An
+// execution that finds its join in the cache pays probe cost only.
+type buildCache map[*PlanNode]*preparedBuild
+
+type preparedBuild struct {
+	jb   *colJoinBuild
+	node *ExecNode // build-child subtree template; cloned per execution
+}
+
+// cloneExecNode deep-copies a frozen build-side ExecNode subtree so each
+// execution reports its own annotated plan.
+func cloneExecNode(n *ExecNode) *ExecNode {
+	out := *n
+	if len(n.Children) > 0 {
+		out.Children = make([]*ExecNode, len(n.Children))
+		for i, c := range n.Children {
+			out.Children[i] = cloneExecNode(c)
+		}
+	}
+	return &out
+}
+
+// executeColumnar is the columnar implementation behind Execute.
+func executeColumnar(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
+	return executeColumnarFrom(db, plan, opts, nil, nil)
+}
+
+// executeColumnarFrom is executeColumnar with an optional pre-opened scan
+// and prepared join builds.
+func executeColumnarFrom(db *Database, plan *Plan, opts ExecOptions, ov *scanOverride, builds buildCache) (*ExecResult, error) {
+	need := rootNeed(plan, opts)
+	it, width, pop, node, err := openCol(db, plan.Root, need, opts.BatchSize, ov, builds)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExecResult{Root: node}
+	b := batch.NewCol(width, opts.BatchSize, pop)
+	runColumnar(it, b, plan, opts, res)
+	return res, nil
+}
+
+// rootNeed is the column set the plan's root output must materialize: the
+// count column for aggregates, every column when output rows are sampled,
+// nothing otherwise (cardinalities alone flow through the spine).
+func rootNeed(plan *Plan, opts ExecOptions) []int {
+	if plan.Root.Op == OpAggregate {
+		return []int{0}
+	}
+	if opts.SampleLimit > 0 {
+		all := make([]int, len(plan.Root.Cols))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return nil
+}
+
+// runColumnar drives the opened operator tree to exhaustion, accumulating
+// rows, samples, and the COUNT value into res.
+func runColumnar(it colIterator, b *batch.ColBatch, plan *Plan, opts ExecOptions, res *ExecResult) {
+	agg := plan.Root.Op == OpAggregate
+	for it.Next(b) {
+		live := b.Live()
+		res.Rows += int64(live)
+		if opts.SampleLimit > 0 {
+			for i := 0; len(res.Sample) < opts.SampleLimit && i < live; i++ {
+				row := make([]int64, b.Width())
+				b.LiveRow(i, row)
+				res.Sample = append(res.Sample, row)
+			}
+		}
+		if agg {
+			res.Count = b.Col(0)[b.Len()-1]
+		}
+	}
+	res.Root.OutRows = res.Rows
+}
+
+// openCol builds the columnar operator tree for pn and its ExecNode mirror,
+// materializing only the need columns of pn's output. It returns, besides
+// the operator's output width, the populated column set of the batches the
+// operator fills — a superset of need when a scan also writes predicate or
+// key columns that ride along in the same physical batch — which the
+// parent must use to size its receiving batch. Like the row path,
+// hash-join build sides are consumed at open time — unless builds already
+// carries them, in which case the shared arena is probed directly and the
+// frozen build subtree is cloned into the plan annotation.
+func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverride, builds buildCache) (colIterator, int, []int, *ExecNode, error) {
+	switch pn.Op {
+	case OpScan:
+		var src batch.Source
+		if ov != nil && !ov.used && ov.table == pn.Table {
+			src = ov.src
+			ov.used = true
+		} else {
+			var err error
+			src, err = db.openBatchScan(pn.Table)
+			if err != nil {
+				return nil, 0, nil, nil, err
+			}
+		}
+		node := &ExecNode{Op: pn.Op.String(), Table: pn.Table}
+		width := len(db.Schema.Table(pn.Table).Columns)
+		s := &colScanIter{table: pn.Table, src: src, proj: asProjector(src, width), cols: need, width: width, node: node}
+		return s, width, need, node, nil
+
+	case OpFilter:
+		// The filter refines the child's selection in place, so its output
+		// batches are the child's: populated set passes through.
+		childNeed := pn.childNeeds(need)[0]
+		child, width, pop, childNode, err := openCol(db, pn.Children[0], childNeed, capRows, ov, builds)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		table := db.Schema.Table(pn.Pred.Table)
+		node := &ExecNode{Op: pn.Op.String(), Table: pn.Pred.Table, PredSQL: pn.Pred.SQL(table), Children: []*ExecNode{childNode}}
+		return &colFilterIter{child: child, m: pn.Pred.Matcher(), node: node}, width, pop, node, nil
+
+	case OpHashJoin:
+		cn := pn.childNeeds(need)
+		probeNeed, buildNeed := cn[0], cn[1]
+		probe, pw, probePop, probeNode, err := openCol(db, pn.Children[0], probeNeed, capRows, ov, builds)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		var jb *colJoinBuild
+		var buildNode *ExecNode
+		var bw int
+		if pb, ok := builds[pn]; ok {
+			jb = pb.jb
+			buildNode = cloneExecNode(pb.node)
+			bw = jb.width
+		} else {
+			var buildIt colIterator
+			var buildPop []int
+			buildIt, bw, buildPop, buildNode, err = openCol(db, pn.Children[1], buildNeed, capRows, ov, builds)
+			if err != nil {
+				return nil, 0, nil, nil, err
+			}
+			jb = newColJoinBuild(buildIt, bw, pn.RightKey, capRows, buildNeed, buildPop)
+		}
+		node := &ExecNode{Op: pn.Op.String(), JoinSQL: pn.JoinSQL, Children: []*ExecNode{probeNode, buildNode}}
+		ji := newColHashJoinIter(probe, jb, pw, pn.LeftKey, need, probePop, capRows)
+		ji.node = node
+		return ji, pw + bw, need, node, nil
+
+	case OpAggregate:
+		child, width, pop, childNode, err := openCol(db, pn.Children[0], nil, capRows, ov, builds)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
+		c := &colCountStarIter{child: child, buf: batch.NewCol(width, capRows, pop), node: node}
+		return c, 1, []int{0}, node, nil
+
+	default:
+		return nil, 0, nil, nil, fmt.Errorf("engine: unknown operator %v", pn.Op)
+	}
+}
+
+// asProjector views a scan source as a column projector: batch-capable
+// columnar sources (the generator's Stream, stored-relation cursors) are
+// used directly; row-major sources (Paced wrappers, caller-supplied
+// datagen) are adapted by transposing whole row batches.
+func asProjector(src batch.Source, width int) batch.ColProjector {
+	if cp, ok := src.(batch.ColProjector); ok {
+		return cp
+	}
+	return &rowColAdapter{src: src, width: width}
+}
+
+// rowColAdapter adapts a row-major batch.Source to batch.ColProjector.
+// Projection cannot be pushed into an opaque source, so the full row batch
+// is produced and only the requested columns transposed out.
+type rowColAdapter struct {
+	src   batch.Source
+	width int
+	buf   *batch.Batch
+}
+
+func (a *rowColAdapter) NextColBatch(dst *batch.ColBatch, cols []int) bool {
+	dst.Reset()
+	if a.buf == nil || a.buf.Cap() != dst.Cap() {
+		a.buf = batch.New(a.width, dst.Cap())
+	}
+	if !a.src.NextBatch(a.buf) {
+		return false
+	}
+	n := a.buf.Len()
+	data := a.buf.Data()
+	w := a.buf.Cols()
+	dst.SetLen(n)
+	for _, c := range cols {
+		out := dst.Col(c)
+		for i, off := 0, c; i < n; i, off = i+1, off+w {
+			out[i] = data[off]
+		}
+	}
+	return true
+}
+
+// colScanIter passes projected source batches through, counting them.
+type colScanIter struct {
+	table string
+	src   batch.Source
+	proj  batch.ColProjector
+	cols  []int
+	width int
+	node  *ExecNode
+}
+
+func (s *colScanIter) Next(dst *batch.ColBatch) bool {
+	if !s.proj.NextColBatch(dst, s.cols) {
+		return false
+	}
+	s.node.OutRows += int64(dst.Len())
+	return true
+}
+
+func (s *colScanIter) rewind(db *Database) error {
+	s.node.OutRows = 0
+	if sk, ok := s.src.(rowSeeker); ok {
+		sk.SeekRow(0)
+		return nil
+	}
+	// Not seekable (paced or opaque source): a rewind is a fresh scan.
+	src, err := db.openBatchScan(s.table)
+	if err != nil {
+		return err
+	}
+	s.src = src
+	s.proj = asProjector(src, s.width)
+	return nil
+}
+
+// colFilterIter refines each child batch's selection vector in place with
+// the compiled predicate's vector matcher. No row data moves; order is
+// preserved. Batches whose selection empties are skipped.
+type colFilterIter struct {
+	child colIterator
+	m     *pred.Matcher
+	node  *ExecNode
+}
+
+func (f *colFilterIter) Next(dst *batch.ColBatch) bool {
+	for {
+		if !f.child.Next(dst) {
+			return false
+		}
+		sel := f.m.MatchVec(dst.Cols(), dst.Len(), dst.Sel(), dst.SelBuf())
+		if len(sel) > 0 {
+			dst.SetSel(sel)
+			f.node.OutRows += int64(len(sel))
+			return true
+		}
+		// Whole batch filtered out; pull the next one.
+	}
+}
+
+func (f *colFilterIter) rewind(db *Database) error {
+	f.node.OutRows = 0
+	return f.child.rewind(db)
+}
+
+// colJoinBuild is the one-time build side of a hash join: per-column
+// arenas of the build rows the output needs (unneeded columns carry no
+// storage) plus a key → row-index map. Selection vectors are compacted
+// away during the drain, so arena row r is the r-th surviving build row.
+// After construction a colJoinBuild is read-only: the parallel executor
+// shares one across all workers, and Prepare shares one across executions.
+type colJoinBuild struct {
+	width int
+	arena [][]int64 // len width; nil for unpopulated columns
+	idx   map[int64][]int32
+	rows  int32
+}
+
+// newColJoinBuild drains the build-side iterator into the arenas + index:
+// only the need columns are retained (need must include the key column);
+// pop is the populated set of the build child's batches.
+func newColJoinBuild(build colIterator, width, rightKey, capRows int, need, pop []int) *colJoinBuild {
+	jb := &colJoinBuild{width: width, arena: make([][]int64, width), idx: make(map[int64][]int32)}
+	b := batch.NewCol(width, capRows, pop)
+	var n int32
+	for build.Next(b) {
+		if sel := b.Sel(); sel == nil {
+			k := b.Len()
+			for _, c := range need {
+				jb.arena[c] = append(jb.arena[c], b.Col(c)[:k]...)
+			}
+		} else {
+			for _, c := range need {
+				col := b.Col(c)
+				a := jb.arena[c]
+				for _, r := range sel {
+					a = append(a, col[r])
+				}
+				jb.arena[c] = a
+			}
+		}
+		for _, k := range jb.arena[rightKey][n:] {
+			jb.idx[k] = append(jb.idx[k], n)
+			n++
+		}
+	}
+	jb.rows = n
+	return jb
+}
+
+// colHashJoinIter streams probe batches against a colJoinBuild. Until a
+// probe row matches, only its key column is read; output materialization
+// gathers exactly the needed columns — probe values replicated per match
+// run, build values fetched from the arenas by match index.
+type colHashJoinIter struct {
+	probe     colIterator
+	node      *ExecNode
+	leftKey   int
+	probeCols int
+	build     *colJoinBuild
+	probeOut  []int // needed output columns from the probe side
+	buildOut  []int // needed output columns from the build side (build-local indices)
+
+	// probe cursor, carried across Next calls when dst fills mid-batch
+	pbatch  *batch.ColBatch
+	pi      int // next unprocessed live row of pbatch (selection order)
+	curRow  int // current probe physical row
+	matches []int32
+	mi      int
+	done    bool
+}
+
+// newColHashJoinIter builds the probe-side iterator: need is the join
+// output's required columns, probePop the populated set of the probe
+// child's batches.
+func newColHashJoinIter(probe colIterator, jb *colJoinBuild, probeCols, leftKey int, need, probePop []int, capRows int) *colHashJoinIter {
+	h := &colHashJoinIter{
+		probe:     probe,
+		leftKey:   leftKey,
+		probeCols: probeCols,
+		build:     jb,
+		pbatch:    batch.NewCol(probeCols, capRows, probePop),
+	}
+	for _, c := range need {
+		if c < probeCols {
+			h.probeOut = append(h.probeOut, c)
+		} else {
+			h.buildOut = append(h.buildOut, c-probeCols)
+		}
+	}
+	return h
+}
+
+// reset clears the probe-side cursor so the iterator can serve a fresh
+// probe source (the parallel executor reuses one iterator per worker
+// across morsels). The shared build state is untouched.
+func (h *colHashJoinIter) reset() {
+	h.pbatch.Reset()
+	h.pi = 0
+	h.matches = nil
+	h.mi = 0
+	h.done = false
+}
+
+func (h *colHashJoinIter) rewind(db *Database) error {
+	h.reset()
+	h.node.OutRows = 0
+	return h.probe.rewind(db)
+}
+
+func (h *colHashJoinIter) Next(dst *batch.ColBatch) bool {
+	dst.Reset()
+	capRows := dst.Cap()
+	j := 0
+	for j < capRows {
+		if h.mi < len(h.matches) {
+			k := len(h.matches) - h.mi
+			if k > capRows-j {
+				k = capRows - j
+			}
+			for _, c := range h.probeOut {
+				v := h.pbatch.Col(c)[h.curRow]
+				out := dst.Col(c)[j : j+k]
+				for i := range out {
+					out[i] = v
+				}
+			}
+			for _, bc := range h.buildOut {
+				src := h.build.arena[bc]
+				out := dst.Col(h.probeCols + bc)[j : j+k]
+				for i := 0; i < k; i++ {
+					out[i] = src[h.matches[h.mi+i]]
+				}
+			}
+			h.mi += k
+			j += k
+			continue
+		}
+		if h.done {
+			break
+		}
+		if h.pi >= h.pbatch.Live() {
+			if !h.probe.Next(h.pbatch) {
+				h.done = true
+				break
+			}
+			h.pi = 0
+			continue
+		}
+		if sel := h.pbatch.Sel(); sel != nil {
+			h.curRow = int(sel[h.pi])
+		} else {
+			h.curRow = h.pi
+		}
+		h.pi++
+		h.matches = h.build.idx[h.pbatch.Col(h.leftKey)[h.curRow]]
+		h.mi = 0
+	}
+	dst.SetLen(j)
+	h.node.OutRows += int64(j)
+	return j > 0
+}
+
+// colCountStarIter drains its child, emitting the single COUNT(*) row. Its
+// drain batch materializes no columns at all: pure cardinality flow.
+type colCountStarIter struct {
+	child colIterator
+	buf   *batch.ColBatch
+	node  *ExecNode
+	done  bool
+}
+
+func (c *colCountStarIter) Next(dst *batch.ColBatch) bool {
+	dst.Reset()
+	if c.done {
+		return false
+	}
+	c.done = true
+	var n int64
+	for c.child.Next(c.buf) {
+		n += int64(c.buf.Live())
+	}
+	dst.SetLen(1)
+	dst.Col(0)[0] = n
+	c.node.OutRows++
+	return true
+}
+
+func (c *colCountStarIter) rewind(db *Database) error {
+	c.done = false
+	c.node.OutRows = 0
+	return c.child.rewind(db)
+}

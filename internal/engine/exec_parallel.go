@@ -8,26 +8,33 @@ import (
 	"repro/internal/parallel"
 )
 
-// Morsel-driven parallel execution. Because a dataless scan is a pure
-// function of the summary — any row range of a relation can be generated
-// independently — the probe side of a plan's scan→filter(→probe) pipeline
-// splits into contiguous row-range morsels that workers pull from a shared
-// atomic queue. Hash-join build sides are consumed once, sequentially,
-// into read-only joinBuild arenas shared by every worker; each worker
-// probes them with its own pipeline, accumulating per-operator
+// Morsel-driven parallel execution over the columnar spine. Because a
+// dataless scan is a pure function of the summary — any row range of a
+// relation can be generated independently — the probe side of a plan's
+// scan→filter(→probe) pipeline splits into contiguous row-range morsels
+// that workers pull from a shared atomic queue. Hash-join build sides are
+// consumed once, sequentially, into read-only colJoinBuild arenas shared
+// by every worker; each worker probes them with its own columnar pipeline
+// (projected scans, selection-vector filters), accumulating per-operator
 // cardinalities into worker-local shadow ExecNodes. The merge is
 // deterministic: shadow counts are summed in worker order (addition makes
 // the result schedule-independent) and sample rows are re-assembled in
 // morsel order, so the ExecResult is byte-identical to the sequential
-// batched executor's, regardless of worker count or scheduling.
+// columnar executor's, regardless of worker count or scheduling.
 
 // ExecuteParallel runs the plan on opts.Parallelism workers (<= 0 selects
 // GOMAXPROCS; the value is honored verbatim, without Execute's clamp, so
 // callers can oversubscribe deliberately). Plans whose probe-side scan
 // cannot be partitioned — a velocity-paced stream or a caller-supplied
-// datagen source — fall back to the sequential batched executor, which
+// datagen source — fall back to the sequential columnar executor, which
 // produces the identical result.
 func ExecuteParallel(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
+	return executeParallelFrom(db, plan, opts, nil)
+}
+
+// executeParallelFrom is ExecuteParallel with optional prepared join
+// builds (the serve cache's steady-state path).
+func executeParallelFrom(db *Database, plan *Plan, opts ExecOptions, builds buildCache) (*ExecResult, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -35,7 +42,7 @@ func ExecuteParallel(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, e
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	pp, fallback, err := openParallel(db, plan, opts)
+	pp, fallback, err := openParallel(db, plan, opts, builds)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +50,7 @@ func ExecuteParallel(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, e
 		// Not partitionable. If the leaf scan was already opened to probe
 		// its capability, hand it to the sequential path — a table's
 		// DatagenFunc is invoked once per scan, never twice.
-		return executeBatchedFrom(db, plan, opts, fallback)
+		return executeColumnarFrom(db, plan, opts, fallback, builds)
 	}
 	return pp.run(workers, opts)
 }
@@ -51,17 +58,22 @@ func ExecuteParallel(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, e
 // joinStage is one hash join of the probe spine: the shared read-only
 // build state plus what a worker needs to instantiate its probe iterator.
 type joinStage struct {
-	jb        *joinBuild
+	jb        *colJoinBuild
 	leftKey   int
 	probeCols int
+	probePop  []int     // populated columns of the stage's probe-side batches
+	outNeed   []int     // output columns the stage materializes
 	node      *ExecNode // real (merged) node
 }
 
 // parallelPlan is a plan opened for morsel-driven execution: the probe
 // spine decomposed into scan → optional filter → join stages (innermost
-// first), with all build sides already consumed into shared arenas.
+// first), with all build sides already consumed into shared arenas and
+// required-column sets resolved top-down.
 type parallelPlan struct {
 	src      parallel.Source
+	scanNeed []int // projection pushed into each morsel's scan
+	scanCols int   // scan width
 	scanNode *ExecNode
 
 	filterPn   *PlanNode // nil when the scan is unfiltered
@@ -72,8 +84,9 @@ type parallelPlan struct {
 	agg     bool
 	aggNode *ExecNode
 
-	root  *ExecNode
-	width int // output width of the spine top (below any aggregate)
+	root    *ExecNode
+	width   int   // output width of the spine top (below any aggregate)
+	topNeed []int // populated columns of the spine top's batches
 }
 
 // spineNodes lists the real probe-spine ExecNodes in merge order.
@@ -95,7 +108,7 @@ func (pp *parallelPlan) spineNodes() []*ExecNode {
 // sequential execution; the returned scanOverride then carries the
 // already-opened leaf source, if any, so it is reused rather than opened
 // a second time.
-func openParallel(db *Database, plan *Plan, opts ExecOptions) (*parallelPlan, *scanOverride, error) {
+func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache) (*parallelPlan, *scanOverride, error) {
 	pp := &parallelPlan{}
 	pn := plan.Root
 	if pn.Op == OpAggregate {
@@ -129,9 +142,49 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions) (*parallelPlan, *s
 	}
 	pp.src = ps
 
-	// Real ExecNode tree, mirroring openBatch's shape exactly.
+	// Required-column analysis, top-down along the spine: samples need the
+	// full output, COUNT(*) needs no columns beyond keys and predicates.
+	spineTop := plan.Root
+	if pp.agg {
+		spineTop = spineTop.Children[0]
+	}
+	var need []int
+	if opts.SampleLimit > 0 && !pp.agg {
+		for i := range spineTop.Cols {
+			need = append(need, i)
+		}
+	}
+	pp.topNeed = need
+	probeNeeds := make([][]int, len(joinPns)) // by joinPns index (outermost first)
+	buildNeeds := make([][]int, len(joinPns))
+	outNeeds := make([][]int, len(joinPns))
+	for i, jpn := range joinPns {
+		cn := jpn.childNeeds(need)
+		outNeeds[i] = need
+		probeNeeds[i], buildNeeds[i] = cn[0], cn[1]
+		need = probeNeeds[i]
+	}
+	if fp := pp.filterPn; fp != nil {
+		need = fp.childNeeds(need)[0]
+	}
+	pp.scanNeed = need
+	// The populated set of each stage's probe-side batches: the scan's
+	// pushed-down projection for the innermost join (predicate columns ride
+	// along in the same physical batch), the inner join's materialized
+	// output for the rest.
+	probePops := make([][]int, len(joinPns))
+	for i := len(joinPns) - 1; i >= 0; i-- {
+		if i == len(joinPns)-1 {
+			probePops[i] = pp.scanNeed
+		} else {
+			probePops[i] = outNeeds[i+1]
+		}
+	}
+
+	// Real ExecNode tree, mirroring openCol's shape exactly.
 	pp.scanNode = &ExecNode{Op: OpScan.String(), Table: pn.Table}
 	width := len(db.Schema.Table(pn.Table).Columns)
+	pp.scanCols = width
 	cur := pp.scanNode
 	if fp := pp.filterPn; fp != nil {
 		table := db.Schema.Table(fp.Pred.Table)
@@ -139,16 +192,34 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions) (*parallelPlan, *s
 		cur = pp.filterNode
 	}
 	// Build sides are consumed innermost-first (the order the sequential
-	// executor drains them in); each becomes a shared read-only arena.
+	// executor drains them in); each becomes a shared read-only arena —
+	// or is served straight from the prepared build cache.
 	for i := len(joinPns) - 1; i >= 0; i-- {
 		jpn := joinPns[i]
-		buildIt, bw, buildNode, err := openBatch(db, jpn.Children[1], opts.BatchSize, nil)
-		if err != nil {
-			return nil, nil, err
+		var jb *colJoinBuild
+		var buildNode *ExecNode
+		var bw int
+		if pb, ok := builds[jpn]; ok {
+			jb = pb.jb
+			buildNode = cloneExecNode(pb.node)
+			bw = jb.width
+		} else {
+			buildIt, w, buildPop, bn, err := openCol(db, jpn.Children[1], buildNeeds[i], opts.BatchSize, nil, builds)
+			if err != nil {
+				return nil, nil, err
+			}
+			jb = newColJoinBuild(buildIt, w, jpn.RightKey, opts.BatchSize, buildNeeds[i], buildPop)
+			buildNode, bw = bn, w
 		}
-		jb := newJoinBuild(buildIt, jpn.RightKey, bw, opts.BatchSize)
 		node := &ExecNode{Op: OpHashJoin.String(), JoinSQL: jpn.JoinSQL, Children: []*ExecNode{cur, buildNode}}
-		pp.stages = append(pp.stages, joinStage{jb: jb, leftKey: jpn.LeftKey, probeCols: width, node: node})
+		pp.stages = append(pp.stages, joinStage{
+			jb:        jb,
+			leftKey:   jpn.LeftKey,
+			probeCols: width,
+			probePop:  probePops[i],
+			outNeed:   outNeeds[i],
+			node:      node,
+		})
 		width += bw
 		cur = node
 	}
@@ -221,46 +292,51 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 
 	err := parallel.Run(workers, func(w int) error {
 		st := states[w]
-		// Worker-local pipeline over shadow nodes; the scan source is
-		// swapped per morsel, join iterators reset their probe cursors.
+		// Worker-local columnar pipeline over shadow nodes; the scan source
+		// is swapped per morsel, join iterators reset their probe cursors.
 		scanShadow := &ExecNode{}
 		st.shadow = append(st.shadow, scanShadow)
-		scanIt := &batchScanIter{node: scanShadow}
-		var cur batchIterator = scanIt
+		scanIt := &colScanIter{cols: pp.scanNeed, width: pp.scanCols, node: scanShadow}
+		var cur colIterator = scanIt
 		if fp := pp.filterPn; fp != nil {
 			filterShadow := &ExecNode{}
 			st.shadow = append(st.shadow, filterShadow)
-			m := fp.Pred.Matcher()
-			f := &batchFilterIter{child: cur, m: m, ranges: m.AllRanges(), node: filterShadow}
-			f.col, f.lo, f.hi, f.single = m.Single()
-			cur = f
+			cur = &colFilterIter{child: cur, m: fp.Pred.Matcher(), node: filterShadow}
 		}
-		joinIts := make([]*batchHashJoinIter, len(pp.stages))
+		joinIts := make([]*colHashJoinIter, len(pp.stages))
 		for i := range pp.stages {
 			stage := &pp.stages[i]
 			joinShadow := &ExecNode{}
 			st.shadow = append(st.shadow, joinShadow)
-			ji := newBatchHashJoinIter(cur, stage.jb, stage.probeCols, stage.leftKey, opts.BatchSize)
+			ji := newColHashJoinIter(cur, stage.jb, stage.probeCols, stage.leftKey, stage.outNeed, stage.probePop, opts.BatchSize)
 			ji.node = joinShadow
 			joinIts[i] = ji
 			cur = ji
 		}
-		b := batch.New(pp.width, opts.BatchSize)
+		topPop := pp.topNeed
+		if len(pp.stages) == 0 {
+			topPop = pp.scanNeed
+		}
+		b := batch.NewCol(pp.width, opts.BatchSize, topPop)
 		for {
 			lo, hi, ok := morsels.Next()
 			if !ok {
 				return nil
 			}
-			scanIt.src = pp.src.Section(lo, hi)
+			sec := pp.src.Section(lo, hi)
+			scanIt.src = sec
+			scanIt.proj = asProjector(sec, pp.scanCols)
 			for _, ji := range joinIts {
 				ji.reset()
 			}
 			run := sampleRun{lo: lo}
 			for cur.Next(b) {
-				n := b.Len()
-				st.rows += int64(n)
-				for i := 0; collectSamples && len(run.rows) < opts.SampleLimit && i < n; i++ {
-					run.rows = append(run.rows, append([]int64(nil), b.Row(i)...))
+				live := b.Live()
+				st.rows += int64(live)
+				for i := 0; collectSamples && len(run.rows) < opts.SampleLimit && i < live; i++ {
+					row := make([]int64, b.Width())
+					b.LiveRow(i, row)
+					run.rows = append(run.rows, row)
 				}
 			}
 			if len(run.rows) > 0 {

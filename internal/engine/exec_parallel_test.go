@@ -90,7 +90,7 @@ func TestExecuteParallelStoredParity(t *testing.T) {
 		plan := mustPlan(t, db, sql)
 		for _, size := range []int{0, 3, 64} {
 			seqOpts := ExecOptions{SampleLimit: 7, BatchSize: size}
-			want, err := executeBatched(db, plan, seqOpts)
+			want, err := executeColumnar(db, plan, seqOpts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -121,7 +121,7 @@ func TestExecuteParallelFallback(t *testing.T) {
 	})
 	for _, sql := range []string{"SELECT COUNT(*) FROM fact WHERE q >= 3", "SELECT * FROM fact"} {
 		plan := mustPlan(t, db, sql)
-		want, err := executeBatched(db, plan, ExecOptions{SampleLimit: 5})
+		want, err := executeColumnar(db, plan, ExecOptions{SampleLimit: 5})
 		if err != nil {
 			t.Fatal(err)
 		}

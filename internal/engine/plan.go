@@ -156,6 +156,93 @@ func BuildPlan(s *schema.Schema, q *sqlkit.Query) (*Plan, error) {
 	return &Plan{Query: q, Root: cur}, nil
 }
 
+// Required-column analysis — the planning half of projection pushdown.
+// Column needs flow top-down: each operator translates the set of output
+// columns its parent requires into per-child requirements, adding the
+// columns it reads itself (filter predicate columns, join keys). A scan's
+// resulting need is the projection the columnar executor pushes into the
+// generator; everything outside it is never materialized. A nil need means
+// "no columns" — the COUNT(*) spine, where only cardinalities flow.
+
+// addCol inserts column c into the ascending set, returning the set.
+func addCol(set []int, c int) []int {
+	for i, v := range set {
+		if v == c {
+			return set
+		}
+		if v > c {
+			set = append(set, 0)
+			copy(set[i+1:], set[i:])
+			set[i] = c
+			return set
+		}
+	}
+	return append(set, c)
+}
+
+// childNeeds translates the output columns pn's parent requires (need,
+// ascending) into the per-child column requirements, in child order.
+func (pn *PlanNode) childNeeds(need []int) [][]int {
+	switch pn.Op {
+	case OpFilter:
+		// The filter's output layout is its child's; it additionally reads
+		// the predicate columns.
+		child := append([]int(nil), need...)
+		for _, c := range pn.Pred.Cols {
+			child = addCol(child, c)
+		}
+		return [][]int{child}
+	case OpHashJoin:
+		// Output is probe columns then build columns; each side needs its
+		// slice of the output plus its join key.
+		pw := len(pn.Children[0].Cols)
+		var probe, build []int
+		for _, c := range need {
+			if c < pw {
+				probe = addCol(probe, c)
+			} else {
+				build = addCol(build, c-pw)
+			}
+		}
+		probe = addCol(probe, pn.LeftKey)
+		build = addCol(build, pn.RightKey)
+		return [][]int{probe, build}
+	case OpAggregate:
+		// COUNT(*) consumes cardinality only — no child columns at all.
+		return [][]int{nil}
+	default:
+		return nil
+	}
+}
+
+// RequiredScanCols reports, per scanned table, the columns the plan must
+// materialize from that scan: predicate and join-key columns always, plus —
+// when withOutput is set, the sampling case — every column that reaches the
+// plan's output. This is the observable form of the executor's projection
+// pushdown (see EXPERIMENTS.md E12 for the throughput it buys).
+func (p *Plan) RequiredScanCols(withOutput bool) map[string][]int {
+	out := make(map[string][]int)
+	var walk func(pn *PlanNode, need []int)
+	walk = func(pn *PlanNode, need []int) {
+		if pn.Op == OpScan {
+			out[pn.Table] = need
+			return
+		}
+		cn := pn.childNeeds(need)
+		for i, c := range pn.Children {
+			walk(c, cn[i])
+		}
+	}
+	var need []int
+	if withOutput && p.Root.Op != OpAggregate {
+		for i := range p.Root.Cols {
+			need = append(need, i)
+		}
+	}
+	walk(p.Root, need)
+	return out
+}
+
 func tableCols(t *schema.Table) []ColRef {
 	cols := make([]ColRef, len(t.Columns))
 	for i := range t.Columns {

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestPreparedParity holds Prepared.Execute — sequential and parallel,
+// repeated on one Prepared — to the results of a fresh Execute: shared
+// build arenas and cloned build annotations must change nothing.
+func TestPreparedParity(t *testing.T) {
+	db := starDatabase(t)
+	for _, sql := range parityQueries {
+		opts := ExecOptions{SampleLimit: 5, BatchSize: 3}
+		want := execWithf(t, db, sql, opts, Execute)
+		prep, err := Prepare(db, mustPlan(t, db, sql), opts)
+		if err != nil {
+			t.Fatalf("prepare %q: %v", sql, err)
+		}
+		for round := 0; round < 3; round++ {
+			got, err := prep.Execute(opts)
+			if err != nil {
+				t.Fatalf("prepared exec %q round %d: %v", sql, round, err)
+			}
+			requireEqualResults(t, sql, got, want)
+		}
+		popts := opts
+		popts.Parallelism = 2
+		wantPar := execWithf(t, db, sql, popts, Execute)
+		gotPar, err := prep.Execute(popts)
+		if err != nil {
+			t.Fatalf("prepared parallel %q: %v", sql, err)
+		}
+		requireEqualResults(t, sql+" [parallel]", gotPar, wantPar)
+	}
+}
+
+// TestExecuteInReuse holds the state-reusing execution path to the fresh
+// path across repeated runs: rewound scans, recycled batches, and recycled
+// ExecNodes must reproduce the result exactly, including after an options
+// change mid-stream (which rebuilds the state).
+func TestExecuteInReuse(t *testing.T) {
+	db := starDatabase(t)
+	for _, sql := range parityQueries {
+		want := execWithf(t, db, sql, ExecOptions{SampleLimit: 5}, Execute)
+		prep, err := Prepare(db, mustPlan(t, db, sql), ExecOptions{})
+		if err != nil {
+			t.Fatalf("prepare %q: %v", sql, err)
+		}
+		var st ExecState
+		for round := 0; round < 3; round++ {
+			got, err := prep.ExecuteIn(&st, ExecOptions{SampleLimit: 5})
+			if err != nil {
+				t.Fatalf("ExecuteIn %q round %d: %v", sql, round, err)
+			}
+			requireEqualResults(t, sql, got, want)
+		}
+		// Option change invalidates and rebuilds the cached state.
+		want2 := execWithf(t, db, sql, ExecOptions{SampleLimit: 2, BatchSize: 2}, Execute)
+		got2, err := prep.ExecuteIn(&st, ExecOptions{SampleLimit: 2, BatchSize: 2})
+		if err != nil {
+			t.Fatalf("ExecuteIn %q after opts change: %v", sql, err)
+		}
+		requireEqualResults(t, sql+" [opts change]", got2, want2)
+	}
+}
+
+// TestExecuteInZeroAllocStored pins the zero-allocation contract on stored
+// relations: after warmup, a scan→filter→count execution through ExecuteIn
+// allocates nothing.
+func TestExecuteInZeroAllocStored(t *testing.T) {
+	db := starDatabase(t)
+	prep, err := Prepare(db, mustPlan(t, db, "SELECT COUNT(*) FROM fact WHERE q >= 3"), ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ExecState
+	if _, err := prep.ExecuteIn(&st, ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := prep.ExecuteIn(&st, ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ExecuteIn allocates %.2f objects per run, want 0", allocs)
+	}
+}
+
+// execWithf mirrors the parity helpers with an explicit executor func.
+func execWithf(t *testing.T, db *Database, sql string, opts ExecOptions,
+	f func(*Database, *Plan, ExecOptions) (*ExecResult, error)) *ExecResult {
+	t.Helper()
+	res, err := f(db, mustPlan(t, db, sql), opts)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}

@@ -115,3 +115,19 @@ func TestE11Parallel(t *testing.T) {
 		t.Errorf("E11 output missing identity line:\n%s", sb.String())
 	}
 }
+
+func TestE12Projection(t *testing.T) {
+	var sb strings.Builder
+	if err := E12Projection(&sb, smallConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "answers identical to the row-at-a-time reference at every projection") {
+		t.Errorf("E12 output missing identity line:\n%s", out)
+	}
+	for _, variant := range []string{"1 col", "2 cols", "4 cols", "all cols"} {
+		if !strings.Contains(out, variant) {
+			t.Errorf("E12 output missing %q variant:\n%s", variant, out)
+		}
+	}
+}

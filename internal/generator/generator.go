@@ -258,6 +258,74 @@ func (s *Stream) NextBatch(dst *batch.Batch) bool {
 	return dst.Len() > 0
 }
 
+// NextColBatch resets dst and fills it with up to dst.Cap() generated rows
+// in column-major form, materializing only the columns listed in cols —
+// the projection pushdown of the columnar engine. Unprojected columns are
+// never touched: no storage is read or written for them, so a query
+// needing three of a table's twenty-plus columns pays for three. Every
+// projected column of a summary-row segment is filled in one unit-stride
+// pass (fixed values and primary keys as straight stores, cycling sets via
+// the same phase-aligned cursor as the row-major path), so the values are
+// byte-identical to NextBatch's, column by column. Stream implements
+// batch.ColProjector; a Section or Partition sub-stream stops at its
+// range's upper bound.
+func (s *Stream) NextColBatch(dst *batch.ColBatch, cols []int) bool {
+	dst.Reset()
+	for dst.Len() < dst.Cap() && s.pk < s.end && s.rowIdx < len(s.rel.Rows) {
+		row := &s.rel.Rows[s.rowIdx]
+		if s.within >= row.Count {
+			s.rowIdx++
+			s.within = 0
+			continue
+		}
+		k := row.Count - s.within
+		if left := s.end - s.pk; k > left {
+			k = left
+		}
+		if free := int64(dst.Cap() - dst.Len()); k > free {
+			k = free
+		}
+		base := dst.Len()
+		dst.SetLen(base + int(k))
+		for _, c := range cols {
+			seg := dst.Col(c)[base : base+int(k)]
+			if c == s.pkIdx {
+				pk := s.pk
+				for i := range seg {
+					seg[i] = pk
+					pk++
+				}
+				continue
+			}
+			filled := false
+			for si := range row.Specs {
+				sp := &row.Specs[si]
+				if sp.Col != c {
+					continue
+				}
+				if sp.Fixed != nil {
+					v := *sp.Fixed
+					for i := range seg {
+						seg[i] = v
+					}
+				} else {
+					fillCycling(seg, 0, 1, sp.Set, s.within)
+				}
+				filled = true
+				break
+			}
+			if !filled {
+				for i := range seg {
+					seg[i] = 0
+				}
+			}
+		}
+		s.within += k
+		s.pk += k
+	}
+	return dst.Len() > 0
+}
+
 // fillCycling writes the cycling-set column col of a row-major segment:
 // value i of the segment is set.At((start+i) mod set.Len()), the same
 // deterministic fan-out as the row-at-a-time path (foreign keys spread

@@ -305,6 +305,83 @@ func (m *Matcher) AllRanges() []ColRange {
 	return out
 }
 
+// MatchVec is the vector-at-a-time form of Match: it appends to dst the
+// candidate rows whose column values satisfy every constraint, reading
+// column c's vector from cols[c]. Candidates are the entries of sel or,
+// when sel is nil, rows 0..n-1. dst must have length 0 and enough capacity
+// for every candidate; the filled prefix is returned. Each constrained
+// column is applied as one tight pass: the first pass writes survivors to
+// dst, later passes refine dst in place (safe even when dst aliases sel —
+// the write index never passes the read index).
+func (m *Matcher) MatchVec(cols [][]int64, n int, sel []int32, dst []int32) []int32 {
+	if len(m.cols) == 0 {
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				dst = append(dst, int32(i))
+			}
+			return dst
+		}
+		return append(dst, sel...)
+	}
+	for ci := range m.cols {
+		mc := &m.cols[ci]
+		data := cols[mc.col]
+		if ci == 0 {
+			if sel == nil {
+				if mc.set == nil {
+					lo, hi := mc.lo, mc.hi
+					for i, v := range data[:n] {
+						if v >= lo && v < hi {
+							dst = append(dst, int32(i))
+						}
+					}
+				} else {
+					for i, v := range data[:n] {
+						if mc.set.Contains(v) {
+							dst = append(dst, int32(i))
+						}
+					}
+				}
+			} else {
+				if mc.set == nil {
+					lo, hi := mc.lo, mc.hi
+					for _, r := range sel {
+						if v := data[r]; v >= lo && v < hi {
+							dst = append(dst, r)
+						}
+					}
+				} else {
+					for _, r := range sel {
+						if mc.set.Contains(data[r]) {
+							dst = append(dst, r)
+						}
+					}
+				}
+			}
+			continue
+		}
+		k := 0
+		if mc.set == nil {
+			lo, hi := mc.lo, mc.hi
+			for _, r := range dst {
+				if v := data[r]; v >= lo && v < hi {
+					dst[k] = r
+					k++
+				}
+			}
+		} else {
+			for _, r := range dst {
+				if mc.set.Contains(data[r]) {
+					dst[k] = r
+					k++
+				}
+			}
+		}
+		dst = dst[:k]
+	}
+	return dst
+}
+
 // Match reports whether the coded row satisfies the compiled region.
 func (m *Matcher) Match(row []int64) bool {
 	for i := range m.cols {

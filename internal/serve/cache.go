@@ -1,0 +1,220 @@
+// The serve-side plan/build cache: steady-state traffic against one
+// summary repeats a small set of query shapes, and for each of them the
+// expensive half of execution — parsing, planning, and above all draining
+// hash-join build sides into arenas — is a pure function of the database.
+// The cache keys normalized SQL to an engine.Prepared (compiled plan +
+// shared read-only build arenas), so a cache hit pays probe cost only.
+package serve
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// DefaultCacheSize is the LRU capacity used when Options.PlanCacheSize is
+// zero. Entries are one compiled plan plus that query's build arenas; a
+// few dozen cover a realistic dashboard workload.
+const DefaultCacheSize = 64
+
+// normalizeSQL collapses the whitespace variance of otherwise-identical
+// queries into one cache key. Quoted string literals are copied verbatim
+// (a doubled quote stays an escaped quote) — whitespace inside a literal is data, and a
+// key that aliased 'a  b' to 'a b' would serve one query's answer for the
+// other. Case is preserved throughout for the same reason.
+func normalizeSQL(sql string) string {
+	var sb strings.Builder
+	sb.Grow(len(sql))
+	inLit := false
+	pendingSpace := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if inLit {
+			sb.WriteByte(c)
+			if c == '\'' {
+				if i+1 < len(sql) && sql[i+1] == '\'' {
+					sb.WriteByte('\'')
+					i++
+					continue
+				}
+				inLit = false
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			pendingSpace = true
+		default:
+			if pendingSpace && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			pendingSpace = false
+			if c == '\'' {
+				inLit = true
+			}
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// planCache is a mutex-guarded LRU from normalized SQL to prepared
+// executions. Lookups and insertions are O(1); eviction drops the least
+// recently used entry once the size cap is reached.
+type planCache struct {
+	mu       sync.Mutex
+	cap      int
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+	inflight map[string]*inflightPrepare
+	gen      int64 // bumped by invalidate; stale in-flight builds are not cached
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	prep *engine.Prepared
+}
+
+// inflightPrepare coalesces concurrent misses on one key: the first caller
+// builds, the rest wait on done and share the outcome.
+type inflightPrepare struct {
+	done chan struct{}
+	prep *engine.Prepared
+	err  error
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity == 0 {
+		capacity = DefaultCacheSize
+	}
+	return &planCache{
+		cap:      capacity,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*inflightPrepare),
+	}
+}
+
+// enabled reports whether caching is on (a negative capacity disables it).
+func (c *planCache) enabled() bool { return c != nil && c.cap > 0 }
+
+// get returns the prepared execution for key, promoting it to
+// most-recently-used, and records the hit or miss.
+func (c *planCache) get(key string) (*engine.Prepared, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).prep, true
+}
+
+// put inserts (or refreshes) key's prepared execution, evicting the least
+// recently used entry beyond the size cap.
+func (c *planCache) put(key string, prep *engine.Prepared) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).prep = prep
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, prep: prep})
+	for c.lru.Len() > c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// do returns key's prepared execution, invoking build at most once across
+// concurrent callers (single flight): under a cold-start thundering herd,
+// one request drains the hash-join build sides and the rest wait for it
+// instead of each paying the heaviest cost the cache exists to amortize.
+// The winner's result is inserted; a build error is shared, not cached.
+func (c *planCache) do(key string, build func() (*engine.Prepared, error)) (*engine.Prepared, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok { // inserted since the caller's miss
+		c.lru.MoveToFront(el)
+		prep := el.Value.(*cacheEntry).prep
+		c.mu.Unlock()
+		return prep, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		return fl.prep, fl.err
+	}
+	fl := &inflightPrepare{done: make(chan struct{})}
+	c.inflight[key] = fl
+	gen := c.gen
+	c.mu.Unlock()
+
+	fl.prep, fl.err = build()
+	close(fl.done)
+
+	c.mu.Lock()
+	if c.inflight[key] == fl {
+		delete(c.inflight, key)
+	}
+	// An invalidate that raced this build means the result was computed
+	// against state the operator just disowned: serve it to the waiters
+	// (in-flight requests finish on the arenas they hold) but never cache it.
+	stale := c.gen != gen
+	c.mu.Unlock()
+	if fl.err != nil {
+		return nil, fl.err
+	}
+	if !stale {
+		c.put(key, fl.prep)
+	}
+	return fl.prep, nil
+}
+
+// invalidate drops every entry (hit/miss counters survive). The server
+// exposes it as the invalidation hook for summary swaps.
+func (c *planCache) invalidate() {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[string]*list.Element)
+	// Detach in-flight builds: their waiters still get the shared result,
+	// but the stale-generation check keeps it out of the cache, and new
+	// requests start a fresh build immediately.
+	c.inflight = make(map[string]*inflightPrepare)
+	c.gen++
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+	Cap     int   `json:"cap"`
+}
+
+func (c *planCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len(), Cap: c.cap}
+}

@@ -5,19 +5,25 @@
 // scans regenerated on the fly and, when Parallelism is enabled, fanned
 // out across workers by the engine's morsel-driven executor.
 //
+// Repeated query shapes are served from a keyed plan/build cache
+// (cache.go): the first request for a query pays parse + plan + hash-join
+// build cost, every later request probes the shared read-only arenas only.
+//
 // Endpoints:
 //
-//	POST /query    {"sql": "SELECT COUNT(*) FROM ..."} →
-//	               {"count", "rows", "sample", "plan", "elapsed_ns", ...}
-//	GET  /healthz  {"status": "ok", "tables": N, ...}
+//	POST /query    {"sql": "SELECT COUNT(*) FROM ...",
+//	                "batch_size": 512, "parallelism": 4} →
+//	               {"count", "rows", "sample", "plan", "cache", "elapsed_ns", ...}
+//	GET  /healthz  {"status": "ok", "tables": N, "cache": {...}, ...}
 //
 // The handler is safe for concurrent use: the underlying dataless
-// database is read-only after construction and every request opens fresh
-// scan state.
+// database is read-only after construction, every request opens fresh
+// probe state, and cached build arenas are immutable after construction.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -31,9 +37,11 @@ import (
 // Options configure the server.
 type Options struct {
 	// Parallelism is passed to every query's ExecOptions (clamped by the
-	// engine into [0, GOMAXPROCS]); 0 executes sequentially.
+	// engine into [0, GOMAXPROCS]); 0 executes sequentially. A request may
+	// override it per query.
 	Parallelism int
-	// BatchSize overrides the execution batch capacity (0 = default).
+	// BatchSize overrides the execution batch capacity (0 = default). A
+	// request may override it per query.
 	BatchSize int
 	// SampleLimit caps how many result rows a response carries (decoded
 	// result sets can be arbitrarily large; COUNT(*) responses are exact
@@ -43,19 +51,38 @@ type Options struct {
 	// positive rate disables parallel execution (paced streams are
 	// serial), which the engine handles by transparent fallback.
 	RowsPerSec float64
+	// PlanCacheSize caps the plan/build cache (entries): 0 selects
+	// DefaultCacheSize, negative disables caching entirely (every request
+	// re-plans and rebuilds).
+	PlanCacheSize int
 }
 
 // Server serves queries against one summary's dataless database.
 type Server struct {
-	sum  *summary.Database
-	db   *engine.Database
-	opts Options
+	sum   *summary.Database
+	db    *engine.Database
+	opts  Options
+	cache *planCache
 }
 
 // New builds a server over the summary.
 func New(sum *summary.Database, opts Options) *Server {
-	return &Server{sum: sum, db: core.RegenDatabase(sum, opts.RowsPerSec), opts: opts}
+	return &Server{
+		sum:   sum,
+		db:    core.RegenDatabase(sum, opts.RowsPerSec),
+		opts:  opts,
+		cache: newPlanCache(opts.PlanCacheSize),
+	}
 }
+
+// InvalidateCache drops every cached plan and build arena — the hook to
+// call when the served summary is swapped or mutated out from under the
+// server. In-flight requests finish against the arenas they already hold
+// (arenas are immutable, so this is safe); new requests re-plan.
+func (s *Server) InvalidateCache() { s.cache.invalidate() }
+
+// CacheStats snapshots plan-cache effectiveness.
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
 
 // Handler returns the HTTP handler exposing the query and health
 // endpoints.
@@ -66,14 +93,21 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// QueryRequest is the POST /query body.
+// QueryRequest is the POST /query body. BatchSize and Parallelism, when
+// present, override the server-wide defaults for this query; both pass
+// through ExecOptions.Normalize, so invalid values are rejected with 400
+// and out-of-range parallelism is clamped.
 type QueryRequest struct {
-	SQL string `json:"sql"`
+	SQL         string `json:"sql"`
+	BatchSize   *int   `json:"batch_size,omitempty"`
+	Parallelism *int   `json:"parallelism,omitempty"`
 }
 
 // QueryResponse is the POST /query reply: the COUNT value (for COUNT(*)
 // queries), output cardinality, a bounded sample of output rows, the
-// cardinality-annotated operator tree, and timing.
+// cardinality-annotated operator tree, whether the plan/build cache served
+// the query ("hit", "miss", or "bypass" when caching is disabled), and
+// timing.
 type QueryResponse struct {
 	SQL         string           `json:"sql"`
 	Count       int64            `json:"count"`
@@ -81,18 +115,22 @@ type QueryResponse struct {
 	Sample      [][]int64        `json:"sample,omitempty"`
 	Plan        *engine.ExecNode `json:"plan"`
 	Parallelism int              `json:"parallelism"`
+	BatchSize   int              `json:"batch_size,omitempty"`
+	Cache       string           `json:"cache,omitempty"`
 	ElapsedNS   int64            `json:"elapsed_ns"`
 }
 
 // HealthResponse is the GET /healthz reply.
 type HealthResponse struct {
-	Status      string `json:"status"`
-	Tables      int    `json:"tables"`
-	Parallelism int    `json:"parallelism"`
+	Status      string     `json:"status"`
+	Tables      int        `json:"tables"`
+	Parallelism int        `json:"parallelism"`
+	Cache       CacheStats `json:"cache"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
@@ -100,11 +138,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status:      "ok",
 		Tables:      len(s.sum.Relations),
 		Parallelism: s.opts.Parallelism,
+		Cache:       s.cache.stats(),
 	})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
@@ -117,23 +157,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("request has no sql"))
 		return
 	}
-	q, err := sqlkit.Parse(req.SQL)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	plan, err := engine.BuildPlan(s.db.Schema, q)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
 	opts := engine.ExecOptions{
 		SampleLimit: s.opts.SampleLimit,
 		BatchSize:   s.opts.BatchSize,
 		Parallelism: s.opts.Parallelism,
 	}
+	if req.BatchSize != nil {
+		opts.BatchSize = *req.BatchSize
+	}
+	if req.Parallelism != nil {
+		opts.Parallelism = *req.Parallelism
+	}
+	opts, err := opts.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
 	start := time.Now()
-	res, err := engine.Execute(s.db, plan, opts)
+	prep, cacheState, err := s.prepared(req.SQL, opts)
+	if err != nil {
+		// Unparsable or unplannable SQL is the client's fault; a failure
+		// opening or draining a build-side source is the server's.
+		status := http.StatusInternalServerError
+		var bad *badQueryError
+		if errors.As(err, &bad) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	res, err := prep.Execute(opts)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -144,10 +198,55 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Rows:        res.Rows,
 		Sample:      res.Sample,
 		Plan:        res.Root,
-		Parallelism: s.opts.Parallelism,
+		Parallelism: opts.Parallelism,
+		BatchSize:   opts.BatchSize,
+		Cache:       cacheState,
 		ElapsedNS:   time.Since(start).Nanoseconds(),
 	})
 }
+
+// prepared resolves SQL to a ready-to-probe execution: from the cache when
+// possible, otherwise parse + plan + build (and insert, keyed by the
+// normalized SQL, so whitespace variants of one query share an entry).
+func (s *Server) prepared(sql string, opts engine.ExecOptions) (*engine.Prepared, string, error) {
+	if !s.cache.enabled() {
+		prep, err := s.prepare(sql, opts)
+		return prep, "bypass", err
+	}
+	key := normalizeSQL(sql)
+	if prep, ok := s.cache.get(key); ok {
+		return prep, "hit", nil
+	}
+	// Single-flighted miss: concurrent cold requests for one query share
+	// one parse + plan + build instead of racing N of them.
+	prep, err := s.cache.do(key, func() (*engine.Prepared, error) {
+		return s.prepare(sql, opts)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return prep, "miss", nil
+}
+
+func (s *Server) prepare(sql string, opts engine.ExecOptions) (*engine.Prepared, error) {
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		return nil, &badQueryError{err}
+	}
+	plan, err := engine.BuildPlan(s.db.Schema, q)
+	if err != nil {
+		return nil, &badQueryError{err}
+	}
+	return engine.Prepare(s.db, plan, opts)
+}
+
+// badQueryError marks failures the client caused (unparsable or
+// unplannable SQL), distinguishing them from server-side build faults for
+// status-code selection.
+type badQueryError struct{ err error }
+
+func (e *badQueryError) Error() string { return e.err.Error() }
+func (e *badQueryError) Unwrap() error { return e.err }
 
 // errorResponse is the JSON error body every non-2xx reply carries.
 type errorResponse struct {

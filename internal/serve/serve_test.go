@@ -3,11 +3,15 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -182,6 +186,9 @@ func TestServeErrors(t *testing.T) {
 	if get.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /query = %d, want 405", get.StatusCode)
 	}
+	if allow := get.Header.Get("Allow"); allow != "POST" {
+		t.Fatalf("GET /query Allow header = %q, want POST", allow)
+	}
 
 	for _, tc := range []struct {
 		body string
@@ -207,5 +214,355 @@ func TestServeErrors(t *testing.T) {
 		if er.Error == "" {
 			t.Fatalf("body %q: empty error message", tc.body)
 		}
+	}
+}
+
+// TestServeMethodNotAllowed pins the 405 + Allow contract on every
+// endpoint and method that isn't the supported one.
+func TestServeMethodNotAllowed(t *testing.T) {
+	sum := buildToySummary(t)
+	ts := httptest.NewServer(New(sum, Options{}).Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		method, path, allow string
+	}{
+		{http.MethodGet, "/query", "POST"},
+		{http.MethodPut, "/query", "POST"},
+		{http.MethodDelete, "/query", "POST"},
+		{http.MethodHead, "/query", "POST"},
+		{http.MethodPost, "/healthz", "GET"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s = %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != tc.allow {
+			t.Fatalf("%s %s Allow = %q, want %q", tc.method, tc.path, allow, tc.allow)
+		}
+	}
+}
+
+// TestServeCacheHit exercises the plan/build cache end to end: the first
+// request for a query misses and populates, repeats (including
+// whitespace-variant spellings) hit, answers stay identical, stats add up,
+// and the invalidation hook empties the cache.
+func TestServeCacheHit(t *testing.T) {
+	sum := buildToySummary(t)
+	srv := New(sum, Options{SampleLimit: 3})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const sql = "SELECT COUNT(*) FROM r, s WHERE r.s_fk = s.s_pk AND s.a >= 20 AND s.a < 60"
+	want := seqCount(t, sum, sql)
+
+	resp, qr := postQuery(t, ts.URL, sql)
+	if resp.StatusCode != http.StatusOK || qr.Cache != "miss" {
+		t.Fatalf("first request: status %d cache %q, want 200 miss", resp.StatusCode, qr.Cache)
+	}
+	if qr.Count != want.Count {
+		t.Fatalf("first request count %d, want %d", qr.Count, want.Count)
+	}
+	for i, variant := range []string{
+		sql,
+		"SELECT  COUNT(*)   FROM r, s WHERE r.s_fk = s.s_pk AND s.a >= 20 AND s.a < 60",
+		"\tSELECT COUNT(*) FROM r, s\n WHERE r.s_fk = s.s_pk AND s.a >= 20 AND s.a < 60 ",
+	} {
+		resp, qr := postQuery(t, ts.URL, variant)
+		if resp.StatusCode != http.StatusOK || qr.Cache != "hit" {
+			t.Fatalf("repeat %d: status %d cache %q, want 200 hit", i, resp.StatusCode, qr.Cache)
+		}
+		if qr.Count != want.Count || qr.Rows != want.Rows {
+			t.Fatalf("repeat %d: count/rows %d/%d, want %d/%d", i, qr.Count, qr.Rows, want.Count, want.Rows)
+		}
+		if qr.Plan == nil || qr.Plan.OutRows != want.Root.OutRows {
+			t.Fatalf("repeat %d: cached plan annotation %+v, want root out_rows %d", i, qr.Plan, want.Root.OutRows)
+		}
+	}
+	st := srv.CacheStats()
+	if st.Hits != 3 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("cache stats = %+v, want 3 hits / 1 miss / 1 entry", st)
+	}
+
+	srv.InvalidateCache()
+	if st := srv.CacheStats(); st.Entries != 0 {
+		t.Fatalf("after invalidate: %d entries", st.Entries)
+	}
+	resp, qr = postQuery(t, ts.URL, sql)
+	if resp.StatusCode != http.StatusOK || qr.Cache != "miss" {
+		t.Fatalf("post-invalidate: status %d cache %q, want 200 miss", resp.StatusCode, qr.Cache)
+	}
+	if qr.Count != want.Count {
+		t.Fatalf("post-invalidate count %d, want %d", qr.Count, want.Count)
+	}
+}
+
+// TestServeCacheLRUEviction fills a size-2 cache with three distinct
+// queries and checks the least recently used entry was evicted.
+func TestServeCacheLRUEviction(t *testing.T) {
+	sum := buildToySummary(t)
+	srv := New(sum, Options{PlanCacheSize: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := []string{
+		"SELECT COUNT(*) FROM s",
+		"SELECT COUNT(*) FROM s WHERE s.a >= 20",
+		"SELECT COUNT(*) FROM s WHERE s.a >= 40",
+	}
+	for _, sql := range queries {
+		if _, qr := postQuery(t, ts.URL, sql); qr.Cache != "miss" {
+			t.Fatalf("%s: cache %q, want miss", sql, qr.Cache)
+		}
+	}
+	if st := srv.CacheStats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want cap 2", st.Entries)
+	}
+	// queries[0] was evicted; queries[2] is still resident.
+	if _, qr := postQuery(t, ts.URL, queries[0]); qr.Cache != "miss" {
+		t.Fatalf("evicted query served from cache")
+	}
+	if _, qr := postQuery(t, ts.URL, queries[2]); qr.Cache != "hit" {
+		t.Fatalf("resident query missed")
+	}
+}
+
+// TestServeCacheDisabled: a negative PlanCacheSize bypasses caching.
+func TestServeCacheDisabled(t *testing.T) {
+	sum := buildToySummary(t)
+	srv := New(sum, Options{PlanCacheSize: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const sql = "SELECT COUNT(*) FROM s"
+	for i := 0; i < 2; i++ {
+		if _, qr := postQuery(t, ts.URL, sql); qr.Cache != "bypass" {
+			t.Fatalf("request %d: cache %q, want bypass", i, qr.Cache)
+		}
+	}
+	if st := srv.CacheStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("disabled cache recorded activity: %+v", st)
+	}
+}
+
+// TestServeRequestExecOptions drives batch_size and parallelism through
+// the POST body: valid overrides execute (with identical answers to the
+// defaults), invalid ones are rejected through ExecOptions.Normalize with
+// 400.
+func TestServeRequestExecOptions(t *testing.T) {
+	sum := buildToySummary(t)
+	ts := httptest.NewServer(New(sum, Options{}).Handler())
+	defer ts.Close()
+
+	const sql = "SELECT COUNT(*) FROM r, s WHERE r.s_fk = s.s_pk AND s.a >= 20 AND s.a < 60"
+	want := seqCount(t, sum, sql)
+
+	postRaw := func(body string) (*http.Response, QueryResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var qr QueryResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, qr
+	}
+
+	for _, body := range []string{
+		`{"sql": "` + sql + `", "batch_size": 3}`,
+		`{"sql": "` + sql + `", "parallelism": 2}`,
+		`{"sql": "` + sql + `", "batch_size": 7, "parallelism": 1}`,
+		`{"sql": "` + sql + `", "parallelism": 0}`,
+	} {
+		resp, qr := postRaw(body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("body %s: status %d", body, resp.StatusCode)
+		}
+		if qr.Count != want.Count {
+			t.Fatalf("body %s: count %d, want %d", body, qr.Count, want.Count)
+		}
+	}
+
+	// Parallelism beyond GOMAXPROCS is clamped by Normalize, not rejected,
+	// and the response reports the effective value.
+	resp, qr := postRaw(`{"sql": "` + sql + `", "parallelism": 1000000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("oversubscribed parallelism: status %d", resp.StatusCode)
+	}
+	if qr.Parallelism > runtime.GOMAXPROCS(0) {
+		t.Fatalf("parallelism %d not clamped to GOMAXPROCS", qr.Parallelism)
+	}
+
+	// A negative batch size has no sensible meaning: 400 via Normalize.
+	resp, _ = postRaw(`{"sql": "` + sql + `", "batch_size": -1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative batch_size: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// BenchmarkServeQueryCacheHit measures steady-state handler latency for a
+// join query served from the plan/build cache — probe cost only, no parse,
+// no plan, no hash-table build. Compare with BenchmarkServeQueryCacheMiss
+// (which invalidates the cache every iteration, paying full build cost) for
+// the latency the cache removes.
+func BenchmarkServeQueryCacheHit(b *testing.B) {
+	srv, body := benchServer(b)
+	h := srv.Handler()
+	runServeBench(b, h, body, nil)
+}
+
+// BenchmarkServeQueryCacheMiss is the same request with the cache
+// invalidated before every iteration: parse + plan + build + probe.
+func BenchmarkServeQueryCacheMiss(b *testing.B) {
+	srv, body := benchServer(b)
+	h := srv.Handler()
+	runServeBench(b, h, body, srv.InvalidateCache)
+}
+
+func benchServer(b *testing.B) (*Server, []byte) {
+	b.Helper()
+	db, err := toy.Database(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkg, err := core.CaptureClient(db, toy.Workload(), core.CaptureOptions{SkipStats: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum, _, err := core.BuildFromPackage(pkg, summary.DefaultBuildOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT COUNT(*) FROM r, s WHERE r.s_fk = s.s_pk AND s.a >= 20 AND s.a < 60"})
+	return New(sum, Options{}), body
+}
+
+func runServeBench(b *testing.B, h http.Handler, body []byte, perIter func()) {
+	b.Helper()
+	// Warm the cache once so the hit benchmark's first iteration is hot.
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body)))
+	if w.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", w.Code, w.Body.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if perIter != nil {
+			perIter()
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body)))
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// TestNormalizeSQL: whitespace collapses outside string literals only —
+// whitespace inside a literal is data, and aliasing 'a  b' to 'a b' would
+// serve one query's answer for the other.
+func TestNormalizeSQL(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"SELECT  COUNT(*)\t FROM r ", "SELECT COUNT(*) FROM r"},
+		{"  \n SELECT * FROM r", "SELECT * FROM r"},
+		{"SELECT * FROM r WHERE a = 'x  y'", "SELECT * FROM r WHERE a = 'x  y'"},
+		{"SELECT * FROM r   WHERE a = 'x  y'  AND b = 1", "SELECT * FROM r WHERE a = 'x  y' AND b = 1"},
+		{"WHERE a = 'it''s  ok'   AND b=1", "WHERE a = 'it''s  ok' AND b=1"},
+		{"WHERE a = '\ttabs\t'", "WHERE a = '\ttabs\t'"},
+	} {
+		if got := normalizeSQL(tc.in); got != tc.want {
+			t.Errorf("normalizeSQL(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// Literal-internal whitespace must keep distinct queries distinct.
+	if normalizeSQL("WHERE a = 'x  y'") == normalizeSQL("WHERE a = 'x y'") {
+		t.Fatal("distinct literals alias to one cache key")
+	}
+}
+
+// TestPlanCacheSingleflight: concurrent misses on one cold key run the
+// build exactly once; every caller shares the result, and exactly one
+// entry lands in the cache.
+func TestPlanCacheSingleflight(t *testing.T) {
+	c := newPlanCache(8)
+	var builds int32
+	want := &engine.Prepared{}
+	build := func() (*engine.Prepared, error) {
+		atomic.AddInt32(&builds, 1)
+		time.Sleep(20 * time.Millisecond) // widen the herd window
+		return want, nil
+	}
+	const herd = 16
+	var wg sync.WaitGroup
+	got := make([]*engine.Prepared, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prep, err := c.do("k", build)
+			if err != nil {
+				t.Error(err)
+			}
+			got[i] = prep
+		}(i)
+	}
+	wg.Wait()
+	if n := atomic.LoadInt32(&builds); n != 1 {
+		t.Fatalf("herd of %d ran %d builds, want 1", herd, n)
+	}
+	for i, prep := range got {
+		if prep != want {
+			t.Fatalf("caller %d got a different Prepared", i)
+		}
+	}
+	if st := c.stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	// A build error is shared with the herd but never cached.
+	boom := func() (*engine.Prepared, error) { return nil, errBoom }
+	if _, err := c.do("bad", boom); err != errBoom {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+	if st := c.stats(); st.Entries != 1 {
+		t.Fatalf("error was cached: %d entries", st.Entries)
+	}
+}
+
+var errBoom = errors.New("boom")
+
+// TestPlanCacheInvalidateDuringBuild: a build in flight when invalidate
+// fires serves its waiters but must not repopulate the just-cleared cache.
+func TestPlanCacheInvalidateDuringBuild(t *testing.T) {
+	c := newPlanCache(8)
+	want := &engine.Prepared{}
+	prep, err := c.do("k", func() (*engine.Prepared, error) {
+		c.invalidate() // summary swapped while this build was running
+		return want, nil
+	})
+	if err != nil || prep != want {
+		t.Fatalf("do = %v, %v", prep, err)
+	}
+	if st := c.stats(); st.Entries != 0 {
+		t.Fatalf("stale build was cached: %d entries", st.Entries)
+	}
+	// The next request rebuilds and caches normally.
+	if _, err := c.do("k", func() (*engine.Prepared, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.stats(); st.Entries != 1 {
+		t.Fatalf("fresh build not cached: %d entries", st.Entries)
 	}
 }

@@ -1,0 +1,104 @@
+package hydra
+
+// Steady-state execution contracts: the prepared, state-reusing path must
+// match fresh execution byte for byte on dataless databases (generator
+// streams are rewound by SeekRow, not reopened), and the hot
+// scan→filter→count loop must allocate nothing per query after warmup —
+// the zero-allocation audit behind BenchmarkDatalessQuery.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/toy"
+)
+
+func toySummary(t *testing.T) *Summary {
+	t.Helper()
+	db, err := toy.Database(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := Capture(db, toy.Workload(), CaptureOptions{SkipStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _, err := Build(pkg, DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// TestExecuteInDatalessParity reruns every toy workload query through
+// Prepared.ExecuteIn three times on one reused state and holds each run to
+// the fresh Query result.
+func TestExecuteInDatalessParity(t *testing.T) {
+	sum := toySummary(t)
+	db := core.RegenDatabase(sum, 0)
+	for _, sql := range toy.Workload() {
+		want, err := Query(db, sql, ExecOptions{SampleLimit: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		prep, err := Prepare(db, sql, ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		var st ExecState
+		for round := 0; round < 3; round++ {
+			got, err := prep.ExecuteIn(&st, ExecOptions{SampleLimit: 4})
+			if err != nil {
+				t.Fatalf("%s round %d: %v", sql, round, err)
+			}
+			if got.Rows != want.Rows || got.Count != want.Count {
+				t.Fatalf("%s round %d: rows/count %d/%d, want %d/%d",
+					sql, round, got.Rows, got.Count, want.Rows, want.Count)
+			}
+			if len(got.Sample) != len(want.Sample) {
+				t.Fatalf("%s round %d: %d samples, want %d", sql, round, len(got.Sample), len(want.Sample))
+			}
+			for i := range want.Sample {
+				for j := range want.Sample[i] {
+					if got.Sample[i][j] != want.Sample[i][j] {
+						t.Fatalf("%s round %d: sample[%d] = %v, want %v",
+							sql, round, i, got.Sample[i], want.Sample[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSteadyStateZeroAlloc pins allocs_per_op == 0 for the dataless
+// scan→filter→count steady state: after the first ExecuteIn builds the
+// reusable state, repeated executions — regenerating every tuple from the
+// summary each time — allocate nothing. This is the contract
+// BenchmarkDatalessQuery reports and "hydra bench -json" enforces in CI.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	sum := toySummary(t)
+	db := core.RegenDatabase(sum, 0)
+	prep, err := Prepare(db, "SELECT COUNT(*) FROM s WHERE s.a >= 20 AND s.a < 60", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st engine.ExecState
+	res, err := prep.ExecuteIn(&st, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Count
+	allocs := testing.AllocsPerRun(200, func() {
+		res, err := prep.ExecuteIn(&st, ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Fatalf("count drifted: %d, want %d", res.Count, want)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dataless count allocates %.2f objects per query, want 0", allocs)
+	}
+}
