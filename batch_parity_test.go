@@ -101,7 +101,9 @@ func TestBatchParityToyWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkWorkloadParity(t, pkg, toy.Workload())
+	// Grouped-aggregate queries regenerate from the same summary; parity
+	// covers them alongside the captured SPJ workload.
+	checkWorkloadParity(t, pkg, append(toy.Workload(), toy.GroupWorkload()...))
 }
 
 func TestBatchParityTPCDSWorkload(t *testing.T) {
@@ -118,5 +120,5 @@ func TestBatchParityTPCDSWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkWorkloadParity(t, pkg, queries)
+	checkWorkloadParity(t, pkg, append(queries, tpcds.GroupWorkload()...))
 }

@@ -281,6 +281,42 @@ func BenchmarkPreparedJoinQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupByQuery measures vectorized grouped aggregation — the full
+// COUNT/SUM/MIN/MAX/AVG suite grouped by store — regenerated datalessly:
+// fresh columnar execution and the steady-state ExecuteIn path whose
+// recycled hash-agg state runs allocation-free ("hydra bench -json" pins
+// allocs to 0 as groupby_steady).
+func BenchmarkGroupByQuery(b *testing.B) {
+	cfg := benchConfig()
+	_, sum := mustBuild(b, cfg)
+	db := Regen(sum, 0)
+	const sql = "SELECT ss_store_sk, COUNT(*), SUM(ss_quantity), MIN(ss_quantity), MAX(ss_quantity), AVG(ss_sales_price) FROM store_sales GROUP BY ss_store_sk"
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Query(db, sql, ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("steady", func(b *testing.B) {
+		prep, err := Prepare(db, sql, ExecOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st ExecState
+		if _, err := prep.ExecuteIn(&st, ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.ExecuteIn(&st, ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkParallelQuery measures morsel-driven dataless execution of the
 // reference join query across worker counts; compare against the
 // sequential BenchmarkDatalessJoinQuery for the scaling curve (on a

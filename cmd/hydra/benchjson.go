@@ -198,6 +198,61 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 		rows = append(rows, row(fmt.Sprintf("parallel_query_w%d", workers), r, float64(scanRows)))
 	}
 
+	// Grouped aggregation: the full COUNT/SUM/MIN/MAX/AVG suite grouped by
+	// store — fresh columnar execution, morsel-parallel execution, and the
+	// steady-state ExecuteIn path, whose recycled hash-agg state is
+	// contractually allocation-free after warmup (the grouped half of the
+	// zero-allocation audit).
+	gq, err := sqlkit.Parse("SELECT ss_store_sk, COUNT(*), SUM(ss_quantity), MIN(ss_quantity), MAX(ss_quantity), AVG(ss_sales_price) FROM store_sales GROUP BY ss_store_sk")
+	if err != nil {
+		return err
+	}
+	gplan, err := engine.BuildPlan(regen.Schema, gq)
+	if err != nil {
+		return err
+	}
+	grows := planInputRows(sum, gplan)
+	groupFresh := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Execute(regen, gplan, engine.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rows = append(rows, row("groupby_fresh", groupFresh, float64(grows)))
+	for _, workers := range []int{2, 4} {
+		opts := engine.ExecOptions{Parallelism: workers}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.ExecuteParallel(regen, gplan, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, row(fmt.Sprintf("groupby_parallel_w%d", workers), r, float64(grows)))
+	}
+	gprep, err := engine.Prepare(regen, gplan, engine.ExecOptions{})
+	if err != nil {
+		return err
+	}
+	var gst engine.ExecState
+	if _, err := gprep.ExecuteIn(&gst, engine.ExecOptions{}); err != nil {
+		return err
+	}
+	groupSteady := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gprep.ExecuteIn(&gst, engine.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	groupSteadyRow := row("groupby_steady", groupSteady, float64(grows))
+	if groupSteadyRow.AllocsPerOp != 0 {
+		return fmt.Errorf("bench: steady-state grouped query allocates %d objects/op, want 0 (zero-allocation audit)", groupSteadyRow.AllocsPerOp)
+	}
+	rows = append(rows, groupSteadyRow)
+
 	// Raw generation over partitioned streams at 1/2/4/8 workers.
 	for _, workers := range []int{1, 2, 4, 8} {
 		r := testing.Benchmark(func(b *testing.B) {

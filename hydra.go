@@ -151,12 +151,19 @@ func Verify(db *Database, workload []*AQP) (*Report, error) {
 	return verify.Verify(db, workload)
 }
 
-// Query parses, plans, and executes one SPJ/COUNT(*) SQL query against db
-// (stored or dataless). With opts.Parallelism >= 1 execution is
-// morsel-parallel; Execute clamps the value into [0, GOMAXPROCS]. This is
-// the call the hydra serve front end issues per HTTP request — db is safe
-// for concurrent Query calls because every execution opens fresh scan
-// state.
+// Query parses, plans, and executes one SQL query against db (stored or
+// dataless): SPJ, COUNT(*), or grouped aggregation — SELECT with GROUP BY
+// and COUNT/SUM/MIN/MAX/AVG select items (sums are carried exactly in 128
+// bits and AVG finalized as the truncated quotient; a SUM/AVG total
+// outside int64 is detected and fails the query rather than wrapping,
+// identically on every path). Group rows are
+// returned through ExecResult.Rows/Sample in select-list order, sorted
+// ascending by group key, identically on every execution path. With
+// opts.Parallelism >= 1 execution is morsel-parallel (grouped queries run
+// per-worker partial aggregates merged deterministically); Execute clamps
+// the value into [0, GOMAXPROCS]. This is the call the hydra serve front
+// end issues per HTTP request — db is safe for concurrent Query calls
+// because every execution opens fresh scan state.
 func Query(db *Database, sql string, opts ExecOptions) (*ExecResult, error) {
 	q, err := sqlkit.Parse(sql)
 	if err != nil {
@@ -174,7 +181,8 @@ func Query(db *Database, sql string, opts ExecOptions) (*ExecResult, error) {
 // read-only arenas, so each Prepared.Execute pays probe cost only —
 // identical results to Query, minus the build latency. For single-threaded
 // steady-state loops, Prepared.ExecuteIn additionally recycles all
-// per-execution state and runs allocation-free.
+// per-execution state — including the grouped pipeline's hash-aggregation
+// state — and runs allocation-free.
 func Prepare(db *Database, sql string, opts ExecOptions) (*Prepared, error) {
 	q, err := sqlkit.Parse(sql)
 	if err != nil {

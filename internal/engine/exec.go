@@ -3,7 +3,11 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
+
+	"repro/internal/sqlkit"
 )
 
 // ExecNode mirrors one plan operator after execution, carrying the observed
@@ -117,11 +121,27 @@ func ExecuteRows(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error
 		}
 	}
 	node.OutRows = res.Rows
+	if err := rowIterErr(it); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 type iterator interface {
 	Next() ([]int64, bool)
+}
+
+// rowIterErr surfaces a deferred execution error (aggregate overflow) from
+// the root iterator; only the group aggregate, always the root, can fail
+// after open.
+func rowIterErr(it iterator) error {
+	if c, ok := it.(*countIter); ok {
+		it = c.src
+	}
+	if g, ok := it.(*groupAggIter); ok {
+		return g.err
+	}
+	return nil
 }
 
 // open builds the iterator tree and its ExecNode mirror. Counts for inner
@@ -165,6 +185,14 @@ func open(db *Database, pn *PlanNode) (iterator, *ExecNode, error) {
 		}
 		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
 		return &countIter{src: &countStarIter{child: child}, node: node}, node, nil
+
+	case OpGroupAgg:
+		child, childNode, err := open(db, pn.Children[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
+		return &countIter{src: &groupAggIter{child: child, pn: pn}, node: node}, node, nil
 
 	default:
 		return nil, nil, fmt.Errorf("engine: unknown operator %v", pn.Op)
@@ -247,6 +275,154 @@ func (h *hashJoinIter) Next() ([]int64, bool) {
 		h.cur = row
 		h.matches = h.buildMap[row[h.leftKey]]
 		h.mi = 0
+	}
+}
+
+// groupAggIter is the row-at-a-time reference GROUP BY operator — the
+// executable specification the vectorized colGroupAggIter is pinned to. It
+// drains its child into per-group accumulators keyed by the encoded key
+// tuple, then emits one row per group, sorted ascending by key tuple, each
+// row laid out in select-list order. Aggregate semantics (AVG as exact
+// int64 sum + count with truncated quotient, SUM/AVG overflow detection,
+// empty-global-group identities) match groupAggState exactly.
+type groupAggIter struct {
+	child iterator
+	pn    *PlanNode
+
+	done bool
+	rows [][]int64 // finalized output rows in deterministic order
+	i    int
+	err  error
+}
+
+func (g *groupAggIter) Next() ([]int64, bool) {
+	if !g.done {
+		g.drain()
+		g.done = true
+	}
+	if g.err != nil || g.i >= len(g.rows) {
+		return nil, false
+	}
+	row := g.rows[g.i]
+	g.i++
+	return row, true
+}
+
+func (g *groupAggIter) drain() {
+	type group struct {
+		key    []int64
+		count  int64
+		accs   []int64
+		accsHi []int64 // SUM/AVG high words (128-bit exact sums)
+	}
+	pn := g.pn
+	byKey := make(map[string]*group)
+	var groups []*group
+	newGroup := func(key []int64) *group {
+		grp := &group{key: key, accs: make([]int64, len(pn.Aggs)), accsHi: make([]int64, len(pn.Aggs))}
+		for ai, spec := range pn.Aggs {
+			switch spec.Fn {
+			case sqlkit.AggMin:
+				grp.accs[ai] = math.MaxInt64
+			case sqlkit.AggMax:
+				grp.accs[ai] = math.MinInt64
+			}
+		}
+		groups = append(groups, grp)
+		return grp
+	}
+	if len(pn.GroupBy) == 0 {
+		newGroup(nil)
+	}
+	keyBytes := make([]byte, 8*len(pn.GroupBy))
+	for {
+		row, ok := g.child.Next()
+		if !ok {
+			break
+		}
+		var grp *group
+		if len(pn.GroupBy) == 0 {
+			grp = groups[0]
+		} else {
+			for ki, c := range pn.GroupBy {
+				v := uint64(row[c])
+				for b := 0; b < 8; b++ {
+					keyBytes[8*ki+b] = byte(v >> (8 * b))
+				}
+			}
+			grp = byKey[string(keyBytes)]
+			if grp == nil {
+				key := make([]int64, len(pn.GroupBy))
+				for ki, c := range pn.GroupBy {
+					key[ki] = row[c]
+				}
+				grp = newGroup(key)
+				byKey[string(keyBytes)] = grp
+			}
+		}
+		grp.count++
+		for ai, spec := range pn.Aggs {
+			if spec.Col < 0 {
+				continue
+			}
+			v := row[spec.Col]
+			switch spec.Fn {
+			case sqlkit.AggSum, sqlkit.AggAvg:
+				add128(&grp.accs[ai], &grp.accsHi[ai], v)
+			case sqlkit.AggMin:
+				if v < grp.accs[ai] {
+					grp.accs[ai] = v
+				}
+			case sqlkit.AggMax:
+				if v > grp.accs[ai] {
+					grp.accs[ai] = v
+				}
+			}
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		a, b := groups[i].key, groups[j].key
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	// Judge SUM/AVG totals exactly like groupAggState.finish: the exact
+	// 128-bit total must fit int64.
+	for _, grp := range groups {
+		for ai, spec := range pn.Aggs {
+			if spec.Fn != sqlkit.AggSum && spec.Fn != sqlkit.AggAvg {
+				continue
+			}
+			if !sum128Fits(grp.accs[ai], grp.accsHi[ai]) {
+				g.err = fmt.Errorf("engine: %w: %s total exceeds int64", ErrAggOverflow, spec.Fn)
+				return
+			}
+		}
+	}
+	for _, grp := range groups {
+		out := make([]int64, len(pn.Items))
+		for oc, it := range pn.Items {
+			if it.Agg < 0 {
+				out[oc] = grp.key[it.Key]
+				continue
+			}
+			switch pn.Aggs[it.Agg].Fn {
+			case sqlkit.AggCount:
+				out[oc] = grp.count
+			case sqlkit.AggAvg:
+				if grp.count > 0 {
+					out[oc] = grp.accs[it.Agg] / grp.count
+				}
+			default:
+				if grp.count > 0 {
+					out[oc] = grp.accs[it.Agg]
+				}
+			}
+		}
+		g.rows = append(g.rows, out)
 	}
 }
 

@@ -71,6 +71,15 @@ var parityQueries = []string{
 	"SELECT * FROM fact, dim WHERE fact.d_fk = dim.d_pk AND dim.a = 40",
 	"SELECT * FROM fact, dim WHERE fact.d_fk = dim.d_pk",
 	"SELECT COUNT(*) FROM fact, dim WHERE d_fk = d_pk AND a < 25 AND q > 1",
+	// Grouped aggregation: single/multi key, interleaved select order,
+	// every aggregate function, global (no GROUP BY), grouped-empty input.
+	"SELECT d_fk, COUNT(*) FROM fact GROUP BY d_fk",
+	"SELECT a, COUNT(*), SUM(q), MIN(q), MAX(q), AVG(q) FROM fact, dim WHERE fact.d_fk = dim.d_pk GROUP BY a",
+	"SELECT AVG(q), d_fk FROM fact GROUP BY d_fk",
+	"SELECT d_fk, q, COUNT(*) FROM fact GROUP BY d_fk, q",
+	"SELECT COUNT(q), SUM(q) FROM fact",
+	"SELECT d_fk, SUM(q) FROM fact WHERE q >= 100 GROUP BY d_fk", // empty input
+	"SELECT MIN(q), MAX(q) FROM fact WHERE q >= 100",             // empty global group
 }
 
 // TestBatchRowParityStored holds the batched path to the row path on

@@ -88,7 +88,20 @@ func executeColumnarFrom(db *Database, plan *Plan, opts ExecOptions, ov *scanOve
 	res := &ExecResult{Root: node}
 	b := batch.NewCol(width, opts.BatchSize, pop)
 	runColumnar(it, b, plan, opts, res)
+	if err := colIterErr(it); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// colIterErr surfaces a deferred execution error (aggregate overflow) from
+// the operator tree's root. Only the group aggregate — always the root —
+// can fail after open, so the check is a single type probe.
+func colIterErr(it colIterator) error {
+	if g, ok := it.(*colGroupAggIter); ok {
+		return g.st.err
+	}
+	return nil
 }
 
 // rootNeed is the column set the plan's root output must materialize: the
@@ -205,6 +218,27 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
 		c := &colCountStarIter{child: child, buf: batch.NewCol(width, capRows, pop), node: node}
 		return c, 1, []int{0}, node, nil
+
+	case OpGroupAgg:
+		// The child materializes exactly the grouping keys and aggregate
+		// inputs (childNeeds ignores the parent's need); the node's own
+		// output batches populate only the columns the caller asked for —
+		// nothing when just the group count flows, every select item when
+		// rows are sampled.
+		childNeed := pn.childNeeds(nil)[0]
+		child, width, pop, childNode, err := openCol(db, pn.Children[0], childNeed, capRows, ov, builds)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
+		g := &colGroupAggIter{
+			child:   child,
+			buf:     batch.NewCol(width, capRows, pop),
+			st:      newGroupAggState(pn),
+			outCols: need,
+			node:    node,
+		}
+		return g, len(pn.Items), need, node, nil
 
 	default:
 		return nil, 0, nil, nil, fmt.Errorf("engine: unknown operator %v", pn.Op)
@@ -471,6 +505,51 @@ func (h *colHashJoinIter) Next(dst *batch.ColBatch) bool {
 	dst.SetLen(j)
 	h.node.OutRows += int64(j)
 	return j > 0
+}
+
+// colGroupAggIter is the vectorized GROUP BY operator: it drains its child
+// into a groupAggState (selection-vector-aware hash aggregation, per-column
+// accumulate passes) on the first Next, then streams the sorted groups out
+// as output batches. An aggregate-overflow error parks in the state and is
+// surfaced by the executor via colIterErr.
+type colGroupAggIter struct {
+	child   colIterator
+	buf     *batch.ColBatch // child output drain batch
+	st      *groupAggState
+	outCols []int // output columns the caller materializes
+	node    *ExecNode
+
+	drained bool
+	pos     int // next sorted group to emit
+}
+
+func (g *colGroupAggIter) Next(dst *batch.ColBatch) bool {
+	dst.Reset()
+	if !g.drained {
+		for g.child.Next(g.buf) {
+			g.st.observe(g.buf)
+		}
+		g.st.finish() // sorts, and judges SUM/AVG totals (may set st.err)
+		g.drained = true
+	}
+	if g.st.err != nil {
+		return false
+	}
+	k := g.st.emit(dst, g.outCols, g.pos)
+	if k == 0 {
+		return false
+	}
+	g.pos += k
+	g.node.OutRows += int64(k)
+	return true
+}
+
+func (g *colGroupAggIter) rewind(db *Database) error {
+	g.st.reset()
+	g.drained = false
+	g.pos = 0
+	g.node.OutRows = 0
+	return g.child.rewind(db)
 }
 
 // colCountStarIter drains its child, emitting the single COUNT(*) row. Its

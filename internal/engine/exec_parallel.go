@@ -84,6 +84,13 @@ type parallelPlan struct {
 	agg     bool
 	aggNode *ExecNode
 
+	// Grouped aggregation: each worker folds its morsels' spine output into
+	// a private groupAggState (partial aggregates over the shared build
+	// arenas); partials are merged in worker order and sorted, so the
+	// grouped result is byte-identical to sequential execution.
+	groupPn   *PlanNode
+	groupNode *ExecNode
+
 	root    *ExecNode
 	width   int   // output width of the spine top (below any aggregate)
 	topNeed []int // populated columns of the spine top's batches
@@ -111,8 +118,12 @@ func (pp *parallelPlan) spineNodes() []*ExecNode {
 func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache) (*parallelPlan, *scanOverride, error) {
 	pp := &parallelPlan{}
 	pn := plan.Root
-	if pn.Op == OpAggregate {
+	switch pn.Op {
+	case OpAggregate:
 		pp.agg = true
+		pn = pn.Children[0]
+	case OpGroupAgg:
+		pp.groupPn = pn
 		pn = pn.Children[0]
 	}
 	// Collect the probe spine top-down: joins, then an optional filter,
@@ -143,13 +154,17 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache)
 	pp.src = ps
 
 	// Required-column analysis, top-down along the spine: samples need the
-	// full output, COUNT(*) needs no columns beyond keys and predicates.
+	// full output, COUNT(*) needs no columns beyond keys and predicates,
+	// grouped aggregation exactly its keys and aggregate inputs.
 	spineTop := plan.Root
-	if pp.agg {
+	if pp.agg || pp.groupPn != nil {
 		spineTop = spineTop.Children[0]
 	}
 	var need []int
-	if opts.SampleLimit > 0 && !pp.agg {
+	switch {
+	case pp.groupPn != nil:
+		need = pp.groupPn.childNeeds(nil)[0]
+	case opts.SampleLimit > 0 && !pp.agg:
 		for i := range spineTop.Cols {
 			need = append(need, i)
 		}
@@ -229,6 +244,10 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache)
 		pp.aggNode = &ExecNode{Op: OpAggregate.String(), Children: []*ExecNode{cur}}
 		pp.root = pp.aggNode
 	}
+	if pp.groupPn != nil {
+		pp.groupNode = &ExecNode{Op: OpGroupAgg.String(), Children: []*ExecNode{cur}}
+		pp.root = pp.groupNode
+	}
 	return pp, nil, nil
 }
 
@@ -260,11 +279,13 @@ type sampleRun struct {
 
 // workerState is one worker's private accumulation: shadow ExecNodes for
 // the spine (merged by summation afterwards), the count of rows the spine
-// top produced, and morsel-tagged samples.
+// top produced, morsel-tagged samples, and — for grouped aggregation — the
+// worker's partial aggregate state.
 type workerState struct {
 	shadow []*ExecNode
 	rows   int64
 	runs   []sampleRun
+	group  *groupAggState
 }
 
 // run executes the opened plan on the given number of workers and merges
@@ -283,11 +304,15 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 		}
 	}
 	morsels := parallel.NewMorsels(total, size)
-	collectSamples := opts.SampleLimit > 0 && !pp.agg
+	grouped := pp.groupPn != nil
+	collectSamples := opts.SampleLimit > 0 && !pp.agg && !grouped
 
 	states := make([]*workerState, workers)
 	for w := range states {
 		states[w] = &workerState{}
+		if grouped {
+			states[w].group = newGroupAggState(pp.groupPn)
+		}
 	}
 
 	err := parallel.Run(workers, func(w int) error {
@@ -333,6 +358,9 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 			for cur.Next(b) {
 				live := b.Live()
 				st.rows += int64(live)
+				if st.group != nil {
+					st.group.observe(b) // infallible; totals are judged at merge-side finish
+				}
 				for i := 0; collectSamples && len(run.rows) < opts.SampleLimit && i < live; i++ {
 					row := make([]int64, b.Width())
 					b.LiveRow(i, row)
@@ -364,14 +392,39 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 	}
 
 	res := &ExecResult{Root: pp.root}
-	if pp.agg {
+	switch {
+	case pp.agg:
 		res.Rows = 1
 		res.Count = outRows
 		pp.aggNode.OutRows = 1
 		if opts.SampleLimit > 0 {
 			res.Sample = [][]int64{{outRows}}
 		}
-	} else {
+	case grouped:
+		// Fold worker partials in worker order (deterministic sums), sort,
+		// and materialize — exactly what the sequential colGroupAggIter
+		// emits, so parallel grouped results are byte-identical to it.
+		merged := states[0].group
+		for _, st := range states[1:] {
+			merged.merge(st.group)
+		}
+		merged.finish() // sorts, and judges SUM/AVG totals
+		if merged.err != nil {
+			return nil, merged.err
+		}
+		res.Rows = int64(merged.groups())
+		if opts.SampleLimit > 0 {
+			items := pp.groupPn.Items
+			for i := 0; i < len(merged.order) && i < opts.SampleLimit; i++ {
+				g := merged.order[i]
+				row := make([]int64, len(items))
+				for oc, it := range items {
+					row[oc] = merged.value(it, g)
+				}
+				res.Sample = append(res.Sample, row)
+			}
+		}
+	default:
 		res.Rows = outRows
 		if collectSamples {
 			var runs []sampleRun

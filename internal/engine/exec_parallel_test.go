@@ -78,6 +78,11 @@ var parallelQueries = []string{
 	"SELECT * FROM fact, dim WHERE d_fk = d_pk",
 	"SELECT COUNT(*) FROM fact, dim WHERE d_fk = d_pk AND a >= 20 AND q < 7",
 	"SELECT COUNT(*) FROM fact WHERE q >= 100", // empty result
+	// Grouped spines: partial aggregation per worker, deterministic merge.
+	"SELECT d_fk, COUNT(*), SUM(q), MIN(q), MAX(q), AVG(q) FROM fact GROUP BY d_fk",
+	"SELECT a, COUNT(*) FROM fact, dim WHERE d_fk = d_pk AND q < 7 GROUP BY a",
+	"SELECT COUNT(q), SUM(q) FROM fact",
+	"SELECT d_fk, SUM(q) FROM fact WHERE q >= 100 GROUP BY d_fk", // empty input
 }
 
 // TestExecuteParallelStoredParity holds morsel-parallel execution over

@@ -17,6 +17,7 @@ const (
 	OpFilter
 	OpHashJoin
 	OpAggregate // COUNT(*)
+	OpGroupAgg  // GROUP BY keys + COUNT/SUM/MIN/MAX/AVG aggregates
 )
 
 // String names the operator as it appears in AQPs.
@@ -30,9 +31,28 @@ func (k OpKind) String() string {
 		return "HASH JOIN"
 	case OpAggregate:
 		return "AGGREGATE"
+	case OpGroupAgg:
+		return "GROUP AGG"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
+}
+
+// AggSpec is one aggregate computed by an OpGroupAgg node: the function and
+// its input column's position in the child output. COUNT consumes no input
+// column (Col is -1): with Hydra's coded rows there are no NULLs, so
+// COUNT(col) and COUNT(*) both count group rows.
+type AggSpec struct {
+	Fn  sqlkit.AggFunc
+	Col int
+}
+
+// GroupOut maps one OpGroupAgg output column, in select-list order, to its
+// source: exactly one of Key (an index into the node's GroupBy) and Agg (an
+// index into its Aggs) is >= 0.
+type GroupOut struct {
+	Key int
+	Agg int
 }
 
 // ColRef locates an output column: which table it came from and the column's
@@ -52,6 +72,14 @@ type PlanNode struct {
 	// build side.
 	LeftKey, RightKey int
 	JoinSQL           string // display form, e.g. "r.s_fk = s.s_pk"
+
+	// OpGroupAgg: GroupBy lists the grouping-key positions in the child's
+	// output (GROUP BY clause order — the deterministic output sort order);
+	// Aggs the aggregate specs; Items maps each output column, in
+	// select-list order, to a grouping key or an aggregate.
+	GroupBy []int
+	Aggs    []AggSpec
+	Items   []GroupOut
 
 	Children []*PlanNode
 	Cols     []ColRef // output column layout
@@ -150,10 +178,79 @@ func BuildPlan(s *schema.Schema, q *sqlkit.Query) (*Plan, error) {
 		}
 	}
 
-	if q.CountStar {
+	switch {
+	case q.CountStar:
 		cur = &PlanNode{Op: OpAggregate, Children: []*PlanNode{cur}, Cols: nil}
+	case q.Grouped():
+		gn, err := buildGroupAgg(tables, q, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = gn
 	}
 	return &Plan{Query: q, Root: cur}, nil
+}
+
+// buildGroupAgg compiles the grouped select list onto the join tree:
+// GROUP BY keys and aggregate inputs are resolved to child-output
+// positions, and every non-aggregate select item is checked to be a
+// grouping key (the classic GROUP BY validity rule).
+func buildGroupAgg(tables map[string]*schema.Table, q *sqlkit.Query, child *PlanNode) (*PlanNode, error) {
+	resolve := func(ref sqlkit.ColumnRef) (int, error) {
+		tbl, col, err := resolveColumnRef(tables, ref)
+		if err != nil {
+			return 0, err
+		}
+		pos := findCol(child.Cols, tbl, col)
+		if pos < 0 {
+			return 0, fmt.Errorf("engine: internal: column %s not in join output", ref)
+		}
+		return pos, nil
+	}
+	node := &PlanNode{Op: OpGroupAgg, Children: []*PlanNode{child}}
+	for _, ref := range q.GroupBy {
+		pos, err := resolve(ref)
+		if err != nil {
+			return nil, err
+		}
+		node.GroupBy = append(node.GroupBy, pos)
+	}
+	for _, it := range q.Items {
+		if !it.IsAgg {
+			pos, err := resolve(it.Col)
+			if err != nil {
+				return nil, err
+			}
+			ki := -1
+			for i, kp := range node.GroupBy {
+				if kp == pos {
+					ki = i
+					break
+				}
+			}
+			if ki < 0 {
+				return nil, fmt.Errorf("engine: column %s must appear in GROUP BY", it.Col)
+			}
+			node.Items = append(node.Items, GroupOut{Key: ki, Agg: -1})
+			node.Cols = append(node.Cols, child.Cols[pos])
+			continue
+		}
+		spec := AggSpec{Fn: it.Agg.Fn, Col: -1}
+		if !it.Agg.Star {
+			pos, err := resolve(it.Agg.Col)
+			if err != nil {
+				return nil, err
+			}
+			if it.Agg.Fn != sqlkit.AggCount {
+				spec.Col = pos
+			}
+		}
+		node.Items = append(node.Items, GroupOut{Key: -1, Agg: len(node.Aggs)})
+		node.Aggs = append(node.Aggs, spec)
+		// Aggregate outputs are computed columns; no source ColRef.
+		node.Cols = append(node.Cols, ColRef{Col: -1})
+	}
+	return node, nil
 }
 
 // Required-column analysis — the planning half of projection pushdown.
@@ -210,6 +307,20 @@ func (pn *PlanNode) childNeeds(need []int) [][]int {
 	case OpAggregate:
 		// COUNT(*) consumes cardinality only — no child columns at all.
 		return [][]int{nil}
+	case OpGroupAgg:
+		// The node's output columns are computed, so the parent's need is
+		// irrelevant: the child must materialize exactly the grouping keys
+		// and aggregate inputs.
+		var child []int
+		for _, c := range pn.GroupBy {
+			child = addCol(child, c)
+		}
+		for _, a := range pn.Aggs {
+			if a.Col >= 0 {
+				child = addCol(child, a.Col)
+			}
+		}
+		return [][]int{child}
 	default:
 		return nil
 	}
@@ -234,7 +345,7 @@ func (p *Plan) RequiredScanCols(withOutput bool) map[string][]int {
 		}
 	}
 	var need []int
-	if withOutput && p.Root.Op != OpAggregate {
+	if withOutput && p.Root.Op != OpAggregate && p.Root.Op != OpGroupAgg {
 		for i := range p.Root.Cols {
 			need = append(need, i)
 		}
@@ -258,11 +369,11 @@ func findJoin(joins []*sqlkit.JoinPred, used []bool, leftCols, rightCols []ColRe
 		if used[i] {
 			continue
 		}
-		lt, lc, err := resolveJoinSide(tables, jp.Left)
+		lt, lc, err := resolveColumnRef(tables, jp.Left)
 		if err != nil {
 			return nil, 0, 0, 0, err
 		}
-		rt, rc, err := resolveJoinSide(tables, jp.Right)
+		rt, rc, err := resolveColumnRef(tables, jp.Right)
 		if err != nil {
 			return nil, 0, 0, 0, err
 		}
@@ -286,11 +397,14 @@ func findJoin(joins []*sqlkit.JoinPred, used []bool, leftCols, rightCols []ColRe
 	return nil, 0, 0, 0, nil
 }
 
-func resolveJoinSide(tables map[string]*schema.Table, ref sqlkit.ColumnRef) (table string, col int, err error) {
+// resolveColumnRef binds a (possibly unqualified) column reference to its
+// FROM table and column index; join keys, GROUP BY keys, and aggregate
+// arguments all resolve through it.
+func resolveColumnRef(tables map[string]*schema.Table, ref sqlkit.ColumnRef) (table string, col int, err error) {
 	if ref.Table != "" {
 		t := tables[ref.Table]
 		if t == nil {
-			return "", 0, fmt.Errorf("engine: join references table %s not in FROM", ref.Table)
+			return "", 0, fmt.Errorf("engine: column %s references table %s not in FROM", ref, ref.Table)
 		}
 		c := t.ColumnIndex(ref.Column)
 		if c < 0 {

@@ -103,7 +103,10 @@ func newPlanCache(capacity int) *planCache {
 func (c *planCache) enabled() bool { return c != nil && c.cap > 0 }
 
 // get returns the prepared execution for key, promoting it to
-// most-recently-used, and records the hit or miss.
+// most-recently-used. A hit is recorded here; a miss is not — the caller
+// proceeds into do, which accounts for how the miss was ultimately served
+// (built, coalesced onto another build, or found freshly inserted), so
+// hits + misses equals requests even under single flight.
 func (c *planCache) get(key string) (*engine.Prepared, bool) {
 	if !c.enabled() {
 		return nil, false
@@ -112,7 +115,6 @@ func (c *planCache) get(key string) (*engine.Prepared, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
 		return nil, false
 	}
 	c.hits++
@@ -120,14 +122,11 @@ func (c *planCache) get(key string) (*engine.Prepared, bool) {
 	return el.Value.(*cacheEntry).prep, true
 }
 
-// put inserts (or refreshes) key's prepared execution, evicting the least
-// recently used entry beyond the size cap.
-func (c *planCache) put(key string, prep *engine.Prepared) {
-	if !c.enabled() {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// putLocked inserts (or refreshes) key's prepared execution, evicting the
+// least recently used entry beyond the size cap. The caller holds c.mu and
+// has verified the entry is current (generation re-checked in the same
+// critical section — see do).
+func (c *planCache) putLocked(key string, prep *engine.Prepared) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).prep = prep
 		c.lru.MoveToFront(el)
@@ -141,48 +140,75 @@ func (c *planCache) put(key string, prep *engine.Prepared) {
 	}
 }
 
+// testHookPostBuild, when non-nil, runs after a single-flight build
+// completes and before its result is offered to the cache — the window the
+// invalidation race lived in. Tests interleave an invalidate here to prove
+// a stale build can no longer be cached.
+var testHookPostBuild func()
+
 // do returns key's prepared execution, invoking build at most once across
 // concurrent callers (single flight): under a cold-start thundering herd,
 // one request drains the hash-join build sides and the rest wait for it
 // instead of each paying the heaviest cost the cache exists to amortize.
-// The winner's result is inserted; a build error is shared, not cached.
-func (c *planCache) do(key string, build func() (*engine.Prepared, error)) (*engine.Prepared, error) {
+// The winner's result is inserted unless the cache was invalidated while it
+// was building; a build error is shared, not cached.
+//
+// built reports whether this caller ran the build. It mirrors the stats:
+// the builder records the miss; a caller that finds the entry inserted
+// since its lookup, or coalesces onto an in-flight build that succeeds,
+// was served by the cache and records a hit.
+func (c *planCache) do(key string, build func() (*engine.Prepared, error)) (prep *engine.Prepared, built bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok { // inserted since the caller's miss
+		c.hits++
 		c.lru.MoveToFront(el)
 		prep := el.Value.(*cacheEntry).prep
 		c.mu.Unlock()
-		return prep, nil
+		return prep, false, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		<-fl.done
-		return fl.prep, fl.err
+		if fl.err == nil {
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+		}
+		return fl.prep, false, fl.err
 	}
 	fl := &inflightPrepare{done: make(chan struct{})}
 	c.inflight[key] = fl
+	c.misses++
 	gen := c.gen
 	c.mu.Unlock()
 
 	fl.prep, fl.err = build()
 	close(fl.done)
 
+	if testHookPostBuild != nil {
+		testHookPostBuild()
+	}
+	// One critical section retires the in-flight record, re-checks the
+	// generation, and inserts. Atomicity both ways: an invalidate can never
+	// land between "this build is fresh" and the insert (the race that used
+	// to cache a Prepared built against a disowned summary), and no request
+	// can observe neither an inflight record nor a cache entry and start a
+	// redundant build.
 	c.mu.Lock()
 	if c.inflight[key] == fl {
 		delete(c.inflight, key)
 	}
-	// An invalidate that raced this build means the result was computed
-	// against state the operator just disowned: serve it to the waiters
-	// (in-flight requests finish on the arenas they hold) but never cache it.
-	stale := c.gen != gen
+	if fl.err == nil && c.enabled() && c.gen == gen {
+		c.putLocked(key, fl.prep)
+	}
+	// A stale result (c.gen moved since the build began) was computed
+	// against state the operator disowned: serve it to the requests that
+	// hold it — arenas are immutable — but never cache it.
 	c.mu.Unlock()
 	if fl.err != nil {
-		return nil, fl.err
+		return nil, true, fl.err
 	}
-	if !stale {
-		c.put(key, fl.prep)
-	}
-	return fl.prep, nil
+	return fl.prep, true, nil
 }
 
 // invalidate drops every entry (hit/miss counters survive). The server
@@ -202,7 +228,13 @@ func (c *planCache) invalidate() {
 	c.gen++
 }
 
-// CacheStats is a point-in-time snapshot of cache effectiveness.
+// CacheStats is a point-in-time snapshot of cache effectiveness. Hits
+// counts requests served without running a build — direct lookups,
+// single-flight waiters that shared a winner's result, and lookups that
+// found the entry inserted between their miss and their build attempt;
+// Misses counts builds. Hits + Misses therefore equals requests (failed
+// builds excepted: the builder's miss is recorded, its waiters record
+// nothing), so the hit rate stays honest under a coalesced cold-start herd.
 type CacheStats struct {
 	Hits    int64 `json:"hits"`
 	Misses  int64 `json:"misses"`

@@ -8,6 +8,9 @@
 // Repeated query shapes are served from a keyed plan/build cache
 // (cache.go): the first request for a query pays parse + plan + hash-join
 // build cost, every later request probes the shared read-only arenas only.
+// Grouped-aggregate queries (GROUP BY with COUNT/SUM/MIN/MAX/AVG) flow
+// through the same cache; their group rows are returned in the response's
+// rows count and bounded sample.
 //
 // Endpoints:
 //
@@ -25,7 +28,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -142,14 +147,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// MaxQueryBody bounds the POST /query body. SQL text is small; anything
+// beyond this is a hostile or broken client, and an unbounded decode would
+// let one request hold arbitrary memory.
+const MaxQueryBody = 1 << 20
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
+	// The body is JSON: reject any declared non-JSON content type up front
+	// (an absent header is tolerated for bare clients), and cap how much of
+	// the body the decoder may consume.
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err != nil || (mt != "application/json" && !strings.HasSuffix(mt, "+json")) {
+			writeError(w, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q is not JSON", ct))
+			return
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxQueryBody)
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -218,12 +243,18 @@ func (s *Server) prepared(sql string, opts engine.ExecOptions) (*engine.Prepared
 		return prep, "hit", nil
 	}
 	// Single-flighted miss: concurrent cold requests for one query share
-	// one parse + plan + build instead of racing N of them.
-	prep, err := s.cache.do(key, func() (*engine.Prepared, error) {
+	// one parse + plan + build instead of racing N of them. Only the
+	// request that actually ran the build reports "miss" — a coalesced
+	// waiter was served by the cache, and its response label agrees with
+	// what CacheStats counted it as.
+	prep, built, err := s.cache.do(key, func() (*engine.Prepared, error) {
 		return s.prepare(sql, opts)
 	})
 	if err != nil {
 		return nil, "", err
+	}
+	if !built {
+		return prep, "hit", nil
 	}
 	return prep, "miss", nil
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync"
@@ -512,7 +513,7 @@ func TestPlanCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			prep, err := c.do("k", build)
+			prep, _, err := c.do("k", build)
 			if err != nil {
 				t.Error(err)
 			}
@@ -533,7 +534,7 @@ func TestPlanCacheSingleflight(t *testing.T) {
 	}
 	// A build error is shared with the herd but never cached.
 	boom := func() (*engine.Prepared, error) { return nil, errBoom }
-	if _, err := c.do("bad", boom); err != errBoom {
+	if _, _, err := c.do("bad", boom); err != errBoom {
 		t.Fatalf("err = %v, want errBoom", err)
 	}
 	if st := c.stats(); st.Entries != 1 {
@@ -548,7 +549,7 @@ var errBoom = errors.New("boom")
 func TestPlanCacheInvalidateDuringBuild(t *testing.T) {
 	c := newPlanCache(8)
 	want := &engine.Prepared{}
-	prep, err := c.do("k", func() (*engine.Prepared, error) {
+	prep, _, err := c.do("k", func() (*engine.Prepared, error) {
 		c.invalidate() // summary swapped while this build was running
 		return want, nil
 	})
@@ -559,10 +560,110 @@ func TestPlanCacheInvalidateDuringBuild(t *testing.T) {
 		t.Fatalf("stale build was cached: %d entries", st.Entries)
 	}
 	// The next request rebuilds and caches normally.
-	if _, err := c.do("k", func() (*engine.Prepared, error) { return want, nil }); err != nil {
+	if _, _, err := c.do("k", func() (*engine.Prepared, error) { return want, nil }); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.stats(); st.Entries != 1 {
 		t.Fatalf("fresh build not cached: %d entries", st.Entries)
+	}
+}
+
+// TestServeBodyLimits pins the request-body hardening: an oversized body is
+// rejected with 413 before it can be decoded, and a declared non-JSON
+// content type with 415. Absent content types are tolerated; +json suffixes
+// pass.
+func TestServeBodyLimits(t *testing.T) {
+	sum := buildToySummary(t)
+	ts := httptest.NewServer(New(sum, Options{}).Handler())
+	defer ts.Close()
+
+	// One byte past the cap: 413.
+	big := append([]byte(`{"sql": "`), bytes.Repeat([]byte(" "), MaxQueryBody)...)
+	big = append(big, []byte(`"}`)...)
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+
+	// Non-JSON content types: 415.
+	const sql = `{"sql": "SELECT COUNT(*) FROM s"}`
+	for _, ct := range []string{"text/plain", "application/x-www-form-urlencoded", "application/octet-stream", "such nonsense;;"} {
+		resp, err := http.Post(ts.URL+"/query", ct, strings.NewReader(sql))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Fatalf("content type %q: status %d, want 415", ct, resp.StatusCode)
+		}
+	}
+
+	// JSON spellings and a bare client with no content type still work.
+	for _, ct := range []string{"application/json", "application/json; charset=utf-8", "application/vnd.api+json", ""} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(sql))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("content type %q: status %d, want 200", ct, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeGroupedQuery runs grouped-aggregate SQL end to end through the
+// HTTP front end and the plan/build cache: group rows arrive in the sample,
+// the row count is the group count, answers match in-process execution, and
+// the repeat is a cache hit with identical rows.
+func TestServeGroupedQuery(t *testing.T) {
+	sum := buildToySummary(t)
+	srv := New(sum, Options{SampleLimit: 100, Parallelism: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, sql := range []string{
+		"SELECT t.c, COUNT(*) FROM t GROUP BY t.c",
+		"SELECT s.a, COUNT(*), SUM(s.b), MIN(s.b), MAX(s.b), AVG(s.b) FROM s WHERE s.a < 30 GROUP BY s.a",
+		"SELECT COUNT(*), SUM(s.b) FROM s",
+	} {
+		db := core.RegenDatabase(sum, 0)
+		q, err := sqlkit.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := engine.BuildPlan(db.Schema, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.Execute(db, plan, engine.ExecOptions{SampleLimit: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		resp, qr := postQuery(t, ts.URL, sql)
+		if resp.StatusCode != http.StatusOK || qr.Cache != "miss" {
+			t.Fatalf("%s: status %d cache %q", sql, resp.StatusCode, qr.Cache)
+		}
+		if qr.Rows != want.Rows || !reflect.DeepEqual(qr.Sample, want.Sample) {
+			t.Fatalf("%s: served %d %v, want %d %v", sql, qr.Rows, qr.Sample, want.Rows, want.Sample)
+		}
+		resp, qr2 := postQuery(t, ts.URL, sql)
+		if resp.StatusCode != http.StatusOK || qr2.Cache != "hit" {
+			t.Fatalf("%s repeat: status %d cache %q", sql, resp.StatusCode, qr2.Cache)
+		}
+		if !reflect.DeepEqual(qr2.Sample, qr.Sample) {
+			t.Fatalf("%s: cached rows drifted: %v vs %v", sql, qr2.Sample, qr.Sample)
+		}
 	}
 }

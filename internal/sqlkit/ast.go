@@ -117,16 +117,88 @@ func (p *JoinPred) SQL() string {
 	return fmt.Sprintf("%s = %s", p.Left, p.Right)
 }
 
-// Query is a parsed SPJ query.
+// AggFunc identifies an aggregate function in a select list.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota // COUNT(*) or COUNT(col)
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the SQL spelling of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// Aggregate is one aggregate select item: Fn(Col), or COUNT(*) when Star.
+type Aggregate struct {
+	Fn   AggFunc
+	Star bool      // COUNT(*)
+	Col  ColumnRef // argument column when !Star
+}
+
+// SQL renders the aggregate as SQL text.
+func (a Aggregate) SQL() string {
+	if a.Star {
+		return a.Fn.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Fn, a.Col)
+}
+
+// SelectItem is one entry of a grouped select list, in list order: either a
+// grouping column or an aggregate.
+type SelectItem struct {
+	IsAgg bool
+	Col   ColumnRef // when !IsAgg
+	Agg   Aggregate // when IsAgg
+}
+
+// SQL renders the item as SQL text.
+func (it SelectItem) SQL() string {
+	if it.IsAgg {
+		return it.Agg.SQL()
+	}
+	return it.Col.String()
+}
+
+// Query is a parsed SPJ query, optionally grouped and aggregated.
 type Query struct {
 	// Star is true for SELECT *; CountStar for SELECT COUNT(*).
 	Star      bool
 	CountStar bool
 	Columns   []ColumnRef // projection list when neither Star nor CountStar
 
+	// Grouped-aggregate form: Items is the select list in order (grouping
+	// columns and aggregates interleaved), GroupBy the GROUP BY keys. When
+	// Items is non-empty, Star/CountStar/Columns are unset. A bare
+	// "SELECT COUNT(*) FROM ..." with no GROUP BY keeps the legacy
+	// CountStar form and plans as the scalar aggregate.
+	Items   []SelectItem
+	GroupBy []ColumnRef
+
 	Tables []string
 	Preds  []Predicate
 }
+
+// Grouped reports whether the query is in grouped-aggregate form.
+func (q *Query) Grouped() bool { return len(q.Items) > 0 }
 
 // SQL renders the query back to SQL text.
 func (q *Query) SQL() string {
@@ -137,6 +209,12 @@ func (q *Query) SQL() string {
 		sb.WriteString("COUNT(*)")
 	case q.Star:
 		sb.WriteString("*")
+	case q.Grouped():
+		parts := make([]string, len(q.Items))
+		for i, it := range q.Items {
+			parts[i] = it.SQL()
+		}
+		sb.WriteString(strings.Join(parts, ", "))
 	default:
 		parts := make([]string, len(q.Columns))
 		for i, c := range q.Columns {
@@ -153,6 +231,14 @@ func (q *Query) SQL() string {
 			parts[i] = p.SQL()
 		}
 		sb.WriteString(strings.Join(parts, " AND "))
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		parts := make([]string, len(q.GroupBy))
+		for i, c := range q.GroupBy {
+			parts[i] = c.String()
+		}
+		sb.WriteString(strings.Join(parts, ", "))
 	}
 	return sb.String()
 }

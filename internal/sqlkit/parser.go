@@ -8,16 +8,24 @@ import (
 	"repro/internal/value"
 )
 
-// Parse parses one SPJ query. The grammar is:
+// Parse parses one SPJ or grouped-aggregate query. The grammar is:
 //
-//	query  := SELECT (COUNT '(' '*' ')' | '*' | colref (',' colref)*)
-//	          FROM ident (',' ident)* [WHERE pred (AND pred)*] [';']
+//	query  := SELECT ('*' | item (',' item)*)
+//	          FROM ident (',' ident)* [WHERE pred (AND pred)*]
+//	          [GROUP BY colref (',' colref)*] [';']
+//	item   := colref | COUNT '(' '*' ')' | fn '(' colref ')'
+//	fn     := COUNT | SUM | MIN | MAX | AVG
 //	pred   := colref op literal | literal op colref
 //	        | colref BETWEEN literal AND literal
 //	        | colref IN '(' literal (',' literal)* ')'
 //	        | colref '=' colref
 //	op     := '=' | '<>' | '<' | '<=' | '>' | '>='
 //	colref := ident ['.' ident]
+//
+// A select list that is only plain columns (no GROUP BY) parses to the
+// legacy Columns form, and a lone COUNT(*) without GROUP BY to CountStar;
+// every other combination of aggregates and grouping keys parses to the
+// grouped form (Items + GroupBy).
 func Parse(src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -29,6 +37,15 @@ func Parse(src string) (*Query, error) {
 		return nil, err
 	}
 	return q, nil
+}
+
+// aggFuncs maps the (lower-cased) aggregate keywords to their functions.
+var aggFuncs = map[string]AggFunc{
+	"count": AggCount,
+	"sum":   AggSum,
+	"min":   AggMin,
+	"max":   AggMax,
+	"avg":   AggAvg,
 }
 
 type parser struct {
@@ -104,11 +121,62 @@ func (p *parser) parseQuery() (*Query, error) {
 			}
 		}
 	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			cr, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, cr)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
 	p.acceptSymbol(";")
 	if t := p.cur(); t.kind != tokEOF {
 		return nil, fmt.Errorf("sqlkit: trailing input at %s", t)
 	}
+	if err := q.normalizeSelect(); err != nil {
+		return nil, err
+	}
 	return q, nil
+}
+
+// normalizeSelect classifies the parsed select list: plain columns without
+// GROUP BY keep the legacy Columns form, a lone COUNT(*) without GROUP BY
+// the legacy CountStar form, everything else stays grouped (Items).
+func (q *Query) normalizeSelect() error {
+	if q.Star {
+		if len(q.GroupBy) > 0 {
+			return fmt.Errorf("sqlkit: SELECT * cannot be combined with GROUP BY")
+		}
+		return nil
+	}
+	hasAgg := false
+	for _, it := range q.Items {
+		if it.IsAgg {
+			hasAgg = true
+			break
+		}
+	}
+	if !hasAgg && len(q.GroupBy) == 0 {
+		q.Columns = make([]ColumnRef, len(q.Items))
+		for i, it := range q.Items {
+			q.Columns[i] = it.Col
+		}
+		q.Items = nil
+		return nil
+	}
+	if len(q.GroupBy) == 0 && len(q.Items) == 1 && q.Items[0].Agg.Star {
+		q.CountStar = true
+		q.Items = nil
+		return nil
+	}
+	return nil
 }
 
 func (p *parser) parseSelectList(q *Query) error {
@@ -116,30 +184,55 @@ func (p *parser) parseSelectList(q *Query) error {
 		q.Star = true
 		return nil
 	}
-	if p.cur().kind == tokIdent && p.cur().text == "count" {
-		p.i++
-		if err := p.expectSymbol("("); err != nil {
-			return err
-		}
-		if err := p.expectSymbol("*"); err != nil {
-			return err
-		}
-		if err := p.expectSymbol(")"); err != nil {
-			return err
-		}
-		q.CountStar = true
-		return nil
-	}
 	for {
-		cr, err := p.parseColumnRef()
+		it, err := p.parseSelectItem()
 		if err != nil {
 			return err
 		}
-		q.Columns = append(q.Columns, cr)
+		q.Items = append(q.Items, it)
 		if !p.acceptSymbol(",") {
 			return nil
 		}
 	}
+}
+
+// parseSelectItem parses one select-list entry: an aggregate call when an
+// aggregate keyword is directly followed by '(', otherwise a column
+// reference (so a column that happens to be named "min" still parses).
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if t := p.cur(); t.kind == tokIdent {
+		if fn, ok := aggFuncs[t.text]; ok && p.peekSymbol("(") {
+			p.i += 2 // keyword and '('
+			if fn == AggCount && p.acceptSymbol("*") {
+				if err := p.expectSymbol(")"); err != nil {
+					return SelectItem{}, err
+				}
+				return SelectItem{IsAgg: true, Agg: Aggregate{Fn: AggCount, Star: true}}, nil
+			}
+			cr, err := p.parseColumnRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{IsAgg: true, Agg: Aggregate{Fn: fn, Col: cr}}, nil
+		}
+	}
+	cr, err := p.parseColumnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: cr}, nil
+}
+
+// peekSymbol reports whether the token after the current one is the symbol.
+func (p *parser) peekSymbol(sym string) bool {
+	if p.i+1 >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.i+1]
+	return t.kind == tokSymbol && t.text == sym
 }
 
 func (p *parser) parseColumnRef() (ColumnRef, error) {

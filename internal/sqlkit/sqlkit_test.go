@@ -194,3 +194,97 @@ func TestStringLiteralCasePreserved(t *testing.T) {
 		t.Error("string literal case must be preserved")
 	}
 }
+
+func TestParseGroupBy(t *testing.T) {
+	q := mustParse(t, "SELECT t.c, COUNT(*), SUM(s.b), MIN(s.a), MAX(s.a), AVG(s.b) FROM r, s, t WHERE r.s_fk = s.s_pk GROUP BY t.c")
+	if !q.Grouped() || q.Star || q.CountStar || len(q.Columns) != 0 {
+		t.Fatalf("not grouped form: %+v", q)
+	}
+	if len(q.Items) != 6 {
+		t.Fatalf("items = %d, want 6", len(q.Items))
+	}
+	if q.Items[0].IsAgg || q.Items[0].Col.String() != "t.c" {
+		t.Errorf("item 0 = %+v", q.Items[0])
+	}
+	wantFns := []AggFunc{AggCount, AggSum, AggMin, AggMax, AggAvg}
+	for i, fn := range wantFns {
+		it := q.Items[i+1]
+		if !it.IsAgg || it.Agg.Fn != fn {
+			t.Errorf("item %d = %+v, want %v", i+1, it, fn)
+		}
+	}
+	if !q.Items[1].Agg.Star {
+		t.Errorf("COUNT(*) star flag not set: %+v", q.Items[1])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].String() != "t.c" {
+		t.Errorf("group by = %+v", q.GroupBy)
+	}
+}
+
+func TestParseGroupByMultipleKeysInterleaved(t *testing.T) {
+	q := mustParse(t, "select avg(q), d_fk, count(f_pk), a from fact, dim where d_fk = d_pk group by d_fk, a")
+	if len(q.Items) != 4 || len(q.GroupBy) != 2 {
+		t.Fatalf("items/groupby = %d/%d", len(q.Items), len(q.GroupBy))
+	}
+	// Aggregates and keys interleave in select-list order.
+	if !q.Items[0].IsAgg || q.Items[1].IsAgg || !q.Items[2].IsAgg || q.Items[3].IsAgg {
+		t.Errorf("interleaving lost: %+v", q.Items)
+	}
+	if q.Items[2].Agg.Fn != AggCount || q.Items[2].Agg.Star || q.Items[2].Agg.Col.Column != "f_pk" {
+		t.Errorf("COUNT(col) = %+v", q.Items[2].Agg)
+	}
+}
+
+func TestParseGlobalAggregate(t *testing.T) {
+	// Aggregates without GROUP BY stay in grouped form (one global group) —
+	// except the lone COUNT(*), which keeps the legacy CountStar plan.
+	q := mustParse(t, "SELECT SUM(q), COUNT(*) FROM fact")
+	if !q.Grouped() || q.CountStar || len(q.GroupBy) != 0 {
+		t.Fatalf("global aggregate form: %+v", q)
+	}
+	if q2 := mustParse(t, "SELECT COUNT(*) FROM fact"); !q2.CountStar || q2.Grouped() {
+		t.Fatalf("lone COUNT(*) lost legacy form: %+v", q2)
+	}
+}
+
+func TestParseGroupBySQLRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT t.c, COUNT(*), SUM(s.b) FROM r, s, t WHERE r.s_fk = s.s_pk GROUP BY t.c",
+		"SELECT AVG(q), d_fk FROM fact GROUP BY d_fk",
+		"SELECT a, b, MIN(q), MAX(q) FROM fact GROUP BY a, b",
+		"SELECT COUNT(q), SUM(q) FROM fact",
+	} {
+		q := mustParse(t, sql)
+		if got := q.SQL(); got != sql {
+			t.Errorf("SQL round trip: got %q, want %q", got, sql)
+		}
+		// Re-parsing the rendering yields the same rendering (fixpoint).
+		if got2 := mustParse(t, q.SQL()).SQL(); got2 != q.SQL() {
+			t.Errorf("SQL not a fixpoint: %q -> %q", q.SQL(), got2)
+		}
+	}
+}
+
+func TestParseGroupByErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT * FROM fact GROUP BY a",      // star with grouping
+		"SELECT AVG(*) FROM fact",            // only COUNT takes '*'
+		"SELECT SUM() FROM fact",             // missing argument
+		"SELECT a, COUNT(*) FROM fact GROUP", // GROUP without BY
+		"SELECT COUNT(*) FROM fact GROUP BY", // BY without keys
+		"SELECT MIN(a,b) FROM fact",          // one argument only
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestParseAggNamedColumn(t *testing.T) {
+	// A column that happens to be named like an aggregate keyword still
+	// parses as a column when not followed by '('.
+	q := mustParse(t, "SELECT min, max FROM limits")
+	if len(q.Columns) != 2 || q.Columns[0].Column != "min" || q.Columns[1].Column != "max" {
+		t.Errorf("columns = %+v", q.Columns)
+	}
+}

@@ -101,3 +101,18 @@ func Workload() []string {
 		"SELECT COUNT(*) FROM s WHERE b BETWEEN 100 AND 499",
 	}
 }
+
+// GroupWorkload returns grouped-aggregate queries over the toy schema for
+// the GROUP BY parity and serve suites. They are executed against summaries
+// built from Workload (grouped queries regenerate from the same summary;
+// they are not part of the captured AQP workload).
+func GroupWorkload() []string {
+	return []string{
+		"SELECT t.c, COUNT(*) FROM t GROUP BY t.c",
+		"SELECT s.a, COUNT(*), SUM(s.b), MIN(s.b), MAX(s.b), AVG(s.b) FROM s WHERE s.a < 40 GROUP BY s.a",
+		"SELECT t.c, COUNT(*), SUM(s.b), MIN(s.a), MAX(s.a), AVG(s.b) FROM r, s, t WHERE r.s_fk = s.s_pk AND r.t_fk = t.t_pk GROUP BY t.c",
+		"SELECT AVG(s.b), t.c FROM r, s, t WHERE r.s_fk = s.s_pk AND r.t_fk = t.t_pk AND s.a >= 20 GROUP BY t.c",
+		"SELECT COUNT(*), SUM(s.b), AVG(s.b) FROM s",
+		"SELECT s.a, s.b, COUNT(*) FROM s WHERE s.a < 5 GROUP BY s.a, s.b",
+	}
+}

@@ -55,6 +55,22 @@ func Workload(n int, seed int64) []string {
 	return out
 }
 
+// GroupWorkload returns grouped-aggregate queries over the warehouse for
+// the GROUP BY parity suites: single- and multi-key grouping, every
+// aggregate function, string-coded and foreign-key group columns,
+// interleaved select order, and a global (GROUP-BY-less) aggregate. They
+// regenerate from summaries built from Workload and are not themselves part
+// of the captured AQP workload.
+func GroupWorkload() []string {
+	return []string{
+		"SELECT ss_store_sk, COUNT(*) FROM store_sales GROUP BY ss_store_sk",
+		"SELECT i_category, COUNT(*), SUM(ss_quantity), AVG(ss_sales_price) FROM store_sales, item WHERE ss_item_sk = i_item_sk GROUP BY i_category",
+		"SELECT d_year, d_moy, MIN(ss_quantity), MAX(ss_quantity) FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk AND d_year < 2001 GROUP BY d_year, d_moy",
+		"SELECT AVG(ss_quantity), ss_promo_sk FROM store_sales WHERE ss_quantity >= 40 GROUP BY ss_promo_sk",
+		"SELECT COUNT(*), SUM(ss_quantity), MIN(ss_sales_price), MAX(ss_sales_price) FROM store_sales",
+	}
+}
+
 // Discrete parameter grids (the "bind variables" of the query templates).
 var (
 	quantityCuts  = []int{20, 40, 60, 80}

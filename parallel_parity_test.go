@@ -52,7 +52,9 @@ func TestParallelParityToyWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkParallelParity(t, pkg, toy.Workload())
+	// Grouped aggregation runs per-worker partial aggregates merged
+	// deterministically; parity at every worker count pins that.
+	checkParallelParity(t, pkg, append(toy.Workload(), toy.GroupWorkload()...))
 }
 
 func TestParallelParityTPCDSWorkload(t *testing.T) {
@@ -69,7 +71,7 @@ func TestParallelParityTPCDSWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkParallelParity(t, pkg, queries)
+	checkParallelParity(t, pkg, append(queries, tpcds.GroupWorkload()...))
 }
 
 // TestParallelParityVelocityFallback pins the paced-stream fallback: a

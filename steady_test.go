@@ -37,7 +37,7 @@ func toySummary(t *testing.T) *Summary {
 func TestExecuteInDatalessParity(t *testing.T) {
 	sum := toySummary(t)
 	db := core.RegenDatabase(sum, 0)
-	for _, sql := range toy.Workload() {
+	for _, sql := range append(toy.Workload(), toy.GroupWorkload()...) {
 		want, err := Query(db, sql, ExecOptions{SampleLimit: 4})
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
@@ -100,5 +100,39 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state dataless count allocates %.2f objects per query, want 0", allocs)
+	}
+}
+
+// TestSteadyStateZeroAllocGroupBy extends the zero-allocation audit to the
+// grouped pipeline: after warmup, repeated ExecuteIn of a GROUP BY /
+// multi-aggregate query recycles the hash-agg state — open-addressed group
+// table, key arenas, accumulators, output order — and allocates nothing.
+func TestSteadyStateZeroAllocGroupBy(t *testing.T) {
+	sum := toySummary(t)
+	db := core.RegenDatabase(sum, 0)
+	prep, err := Prepare(db, "SELECT s.a, COUNT(*), SUM(s.b), MIN(s.b), MAX(s.b), AVG(s.b) FROM s WHERE s.a < 60 GROUP BY s.a", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st engine.ExecState
+	res, err := prep.ExecuteIn(&st, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Rows
+	if want == 0 {
+		t.Fatal("grouped steady-state query produced no groups")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		res, err := prep.ExecuteIn(&st, ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows != want {
+			t.Fatalf("groups drifted: %d, want %d", res.Rows, want)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state grouped query allocates %.2f objects per query, want 0", allocs)
 	}
 }
