@@ -101,9 +101,11 @@ func TestBatchParityToyWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Grouped-aggregate queries regenerate from the same summary; parity
-	// covers them alongside the captured SPJ workload.
-	checkWorkloadParity(t, pkg, append(toy.Workload(), toy.GroupWorkload()...))
+	// Grouped-aggregate and ORDER BY / LIMIT / DISTINCT queries regenerate
+	// from the same summary; parity covers them alongside the captured SPJ
+	// workload.
+	queries := append(toy.Workload(), toy.GroupWorkload()...)
+	checkWorkloadParity(t, pkg, append(queries, toy.SortWorkload()...))
 }
 
 func TestBatchParityTPCDSWorkload(t *testing.T) {
@@ -120,5 +122,6 @@ func TestBatchParityTPCDSWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkWorkloadParity(t, pkg, append(queries, tpcds.GroupWorkload()...))
+	extra := append(tpcds.GroupWorkload(), tpcds.SortWorkload()...)
+	checkWorkloadParity(t, pkg, append(queries, extra...))
 }

@@ -385,3 +385,82 @@ func BenchmarkE10Ablation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOrderByQuery measures the sort sink regenerated datalessly over
+// store_sales: the full sort, the same sort bounded by LIMIT 100 (top-K:
+// the planner pushes the bound into the sort, which keeps a 100-row
+// max-heap instead of sorting every collected row — EXPERIMENTS.md E14
+// sweeps the bound), and the steady-state ExecuteIn path whose recycled
+// sort state runs allocation-free ("hydra bench -json" pins allocs to 0 as
+// orderby_steady).
+func BenchmarkOrderByQuery(b *testing.B) {
+	cfg := benchConfig()
+	_, sum := mustBuild(b, cfg)
+	db := Regen(sum, 0)
+	const sql = "SELECT * FROM store_sales ORDER BY ss_sales_price DESC, ss_quantity"
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Query(db, sql, ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("topk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Query(db, sql+" LIMIT 100", ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("steady", func(b *testing.B) {
+		prep, err := Prepare(db, sql+" LIMIT 100", ExecOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st ExecState
+		if _, err := prep.ExecuteIn(&st, ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.ExecuteIn(&st, ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDistinctQuery measures DISTINCT — the grouped-aggregation state
+// with no aggregates — fresh and steady (distinct_steady in the bench JSON
+// pins the steady path to zero allocations).
+func BenchmarkDistinctQuery(b *testing.B) {
+	cfg := benchConfig()
+	_, sum := mustBuild(b, cfg)
+	db := Regen(sum, 0)
+	const sql = "SELECT DISTINCT ss_store_sk, ss_promo_sk FROM store_sales"
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Query(db, sql, ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("steady", func(b *testing.B) {
+		prep, err := Prepare(db, sql, ExecOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st ExecState
+		if _, err := prep.ExecuteIn(&st, ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.ExecuteIn(&st, ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

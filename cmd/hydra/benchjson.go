@@ -253,6 +253,66 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 	}
 	rows = append(rows, groupSteadyRow)
 
+	// ORDER BY through the sink framework: the full sort over store_sales,
+	// the same sort bounded by a LIMIT (top-K: an n·log k max-heap of k rows
+	// instead of an n·log n sort of n), and the steady-state ExecuteIn path,
+	// whose recycled sort state — arenas, order permutation, heap — is
+	// contractually allocation-free after warmup.
+	const orderBySQL = "SELECT * FROM store_sales ORDER BY ss_sales_price DESC, ss_quantity"
+	for _, v := range []struct{ name, sql string }{
+		{"orderby_fresh", orderBySQL},
+		{"orderby_topk", orderBySQL + " LIMIT 100"},
+	} {
+		oq, err := sqlkit.Parse(v.sql)
+		if err != nil {
+			return err
+		}
+		oplan, err := engine.BuildPlan(regen.Schema, oq)
+		if err != nil {
+			return err
+		}
+		orows := planInputRows(sum, oplan)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Execute(regen, oplan, engine.ExecOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, row(v.name, r, float64(orows)))
+	}
+	steadyRows, err := steadySinkRow(regen, sum, "orderby_steady", orderBySQL+" LIMIT 100")
+	if err != nil {
+		return err
+	}
+	rows = append(rows, steadyRows)
+
+	// DISTINCT rides the same hash-aggregation state as GROUP BY; its
+	// steady state shares the zero-allocation contract.
+	const distinctSQL = "SELECT DISTINCT ss_store_sk, ss_promo_sk FROM store_sales"
+	dq, err := sqlkit.Parse(distinctSQL)
+	if err != nil {
+		return err
+	}
+	dplan, err := engine.BuildPlan(regen.Schema, dq)
+	if err != nil {
+		return err
+	}
+	drows := planInputRows(sum, dplan)
+	distinctFresh := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Execute(regen, dplan, engine.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rows = append(rows, row("distinct_fresh", distinctFresh, float64(drows)))
+	distinctSteady, err := steadySinkRow(regen, sum, "distinct_steady", distinctSQL)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, distinctSteady)
+
 	// Raw generation over partitioned streams at 1/2/4/8 workers.
 	for _, workers := range []int{1, 2, 4, 8} {
 		r := testing.Benchmark(func(b *testing.B) {
@@ -283,6 +343,41 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 		}
 	}
 	return nil
+}
+
+// steadySinkRow measures the steady-state ExecuteIn path of one sink query
+// (ORDER BY + LIMIT, DISTINCT) and enforces the zero-allocation audit on
+// it: a recycled sink state that allocates fails the bench run.
+func steadySinkRow(regen *engine.Database, sum *summary.Database, name, sql string) (BenchRow, error) {
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	plan, err := engine.BuildPlan(regen.Schema, q)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	prep, err := engine.Prepare(regen, plan, engine.ExecOptions{})
+	if err != nil {
+		return BenchRow{}, err
+	}
+	var st engine.ExecState
+	if _, err := prep.ExecuteIn(&st, engine.ExecOptions{}); err != nil {
+		return BenchRow{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.ExecuteIn(&st, engine.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out := row(name, r, float64(planInputRows(sum, plan)))
+	if out.AllocsPerOp != 0 {
+		return BenchRow{}, fmt.Errorf("bench: %s allocates %d objects/op, want 0 (zero-allocation audit)", name, out.AllocsPerOp)
+	}
+	return out, nil
 }
 
 // planInputRows totals the tuples every scan of the plan regenerates — the

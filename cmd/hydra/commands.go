@@ -249,7 +249,7 @@ func cmdScenario(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment id (E1..E13) or all")
+	exp := fs.String("exp", "all", "experiment id (E1..E14) or all")
 	sf := fs.Float64("sf", 1.0, "warehouse scale factor")
 	nq := fs.Int("queries", 131, "workload size")
 	seed := fs.Int64("seed", 7, "seed")
@@ -301,6 +301,7 @@ func cmdBench(args []string) error {
 		{"E11", func() error { return experiments.E11Parallel(w, cfg, []int{1, 2, 4, 8}) }},
 		{"E12", func() error { return experiments.E12Projection(w, cfg) }},
 		{"E13", func() error { return experiments.E13GroupBy(w, cfg, []int{0, 1, 2, 4, 8}) }},
+		{"E14", func() error { return experiments.E14TopK(w, cfg, []int{1000, 100, 10, 1}) }},
 	}
 	for _, s := range steps {
 		if err := run(s.id, s.fn); err != nil {

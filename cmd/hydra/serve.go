@@ -33,5 +33,6 @@ func cmdServe(args []string) error {
 	fmt.Printf("serving %d dataless tables on %s (parallelism=%d)\n", len(sum.Relations), *addr, *par)
 	fmt.Printf("  POST %s/query   {\"sql\": \"SELECT COUNT(*) FROM ...\"}\n", *addr)
 	fmt.Printf("  GET  %s/healthz\n", *addr)
+	fmt.Printf("  GET  %s/statsz\n", *addr)
 	return http.ListenAndServe(*addr, srv.Handler())
 }

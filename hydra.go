@@ -156,14 +156,19 @@ func Verify(db *Database, workload []*AQP) (*Report, error) {
 // and COUNT/SUM/MIN/MAX/AVG select items (sums are carried exactly in 128
 // bits and AVG finalized as the truncated quotient; a SUM/AVG total
 // outside int64 is detected and fails the query rather than wrapping,
-// identically on every path). Group rows are
+// identically on every path) — optionally shaped by SELECT DISTINCT,
+// ORDER BY col [ASC|DESC], ..., and LIMIT n [OFFSET k]. Group rows are
 // returned through ExecResult.Rows/Sample in select-list order, sorted
-// ascending by group key, identically on every execution path. With
-// opts.Parallelism >= 1 execution is morsel-parallel (grouped queries run
-// per-worker partial aggregates merged deterministically); Execute clamps
-// the value into [0, GOMAXPROCS]. This is the call the hydra serve front
-// end issues per HTTP request — db is safe for concurrent Query calls
-// because every execution opens fresh scan state.
+// ascending by group key; DISTINCT outputs the selected columns, one row
+// per distinct tuple, sorted ascending; ORDER BY breaks ties by the
+// remaining columns ascending; a LIMIT directly above an ORDER BY runs as
+// a bounded top-K sort. All of it identically on every execution path.
+// With opts.Parallelism >= 1 execution is morsel-parallel (grouped,
+// distinct, and sorted queries run per-worker partial states merged
+// deterministically); Execute clamps the value into [0, GOMAXPROCS]. This
+// is the call the hydra serve front end issues per HTTP request — db is
+// safe for concurrent Query calls because every execution opens fresh
+// scan state.
 func Query(db *Database, sql string, opts ExecOptions) (*ExecResult, error) {
 	q, err := sqlkit.Parse(sql)
 	if err != nil {
@@ -182,7 +187,8 @@ func Query(db *Database, sql string, opts ExecOptions) (*ExecResult, error) {
 // identical results to Query, minus the build latency. For single-threaded
 // steady-state loops, Prepared.ExecuteIn additionally recycles all
 // per-execution state — including the grouped pipeline's hash-aggregation
-// state — and runs allocation-free.
+// state and the sort pipeline's arenas and top-K heap — and runs
+// allocation-free.
 func Prepare(db *Database, sql string, opts ExecOptions) (*Prepared, error) {
 	q, err := sqlkit.Parse(sql)
 	if err != nil {

@@ -3,11 +3,9 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"math"
 	"runtime"
-	"sort"
 
-	"repro/internal/sqlkit"
+	"repro/internal/batch"
 )
 
 // ExecNode mirrors one plan operator after execution, carrying the observed
@@ -84,7 +82,8 @@ func (o ExecOptions) Normalize() (ExecOptions, error) {
 // projection pushdown and selection vectors (see exec_col.go); with
 // opts.Parallelism >= 1 it is also morsel-parallel (see exec_parallel.go),
 // with results byte-identical to the sequential path. ExecuteRows is the
-// row-at-a-time reference path and produces identical results.
+// row-pivot reference front over the same operators and produces identical
+// results.
 func Execute(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
@@ -96,353 +95,51 @@ func Execute(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
 	return executeColumnar(db, plan, opts)
 }
 
-// ExecuteRows runs a plan one row at a time through pipelined iterators.
-// It is the executable specification the batched path is tested against.
+// ExecuteRows runs a plan and surfaces its output one row at a time: a thin
+// row-pivot adapter over the columnar operator pipeline. There is no second
+// operator set behind it — the pivot drives the very same iterators Execute
+// drives and transposes each live batch row out — so it is kept as the
+// executable reference front the batch-driven paths are pinned against: any
+// divergence between Execute, ExecuteParallel, or Prepared.ExecuteIn and
+// this path is a bug in batch driving, not in operator semantics.
 func ExecuteRows(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	it, node, err := open(db, plan.Root)
+	it, width, pop, node, err := openCol(db, plan.Root, rowNeed(plan), opts.BatchSize, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 	res := &ExecResult{Root: node}
-	for {
-		row, ok := it.Next()
-		if !ok {
-			break
-		}
-		res.Rows++
-		if opts.SampleLimit > 0 && len(res.Sample) < opts.SampleLimit {
-			res.Sample = append(res.Sample, append([]int64(nil), row...))
-		}
-		if plan.Root.Op == OpAggregate {
-			res.Count = row[0]
+	b := batch.NewCol(width, opts.BatchSize, pop)
+	row := make([]int64, width)
+	agg := plan.countStar()
+	for it.Next(b) {
+		live := b.Live()
+		for i := 0; i < live; i++ {
+			b.LiveRow(i, row)
+			res.Rows++
+			if opts.SampleLimit > 0 && len(res.Sample) < opts.SampleLimit {
+				res.Sample = append(res.Sample, append([]int64(nil), row...))
+			}
+			if agg {
+				res.Count = row[0]
+			}
 		}
 	}
 	node.OutRows = res.Rows
-	if err := rowIterErr(it); err != nil {
+	if err := it.deferredErr(); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-type iterator interface {
-	Next() ([]int64, bool)
-}
-
-// rowIterErr surfaces a deferred execution error (aggregate overflow) from
-// the root iterator; only the group aggregate, always the root, can fail
-// after open.
-func rowIterErr(it iterator) error {
-	if c, ok := it.(*countIter); ok {
-		it = c.src
+// rowNeed is the column set the row pivot must materialize: every root
+// output column (rows are whole by definition), or just the count column
+// for COUNT(*) plans.
+func rowNeed(plan *Plan) []int {
+	if plan.countStar() {
+		return []int{0}
 	}
-	if g, ok := it.(*groupAggIter); ok {
-		return g.err
-	}
-	return nil
-}
-
-// open builds the iterator tree and its ExecNode mirror. Counts for inner
-// nodes are accumulated by counting iterators as rows flow; build sides of
-// hash joins are counted at build time.
-func open(db *Database, pn *PlanNode) (iterator, *ExecNode, error) {
-	switch pn.Op {
-	case OpScan:
-		src, err := db.openScan(pn.Table)
-		if err != nil {
-			return nil, nil, err
-		}
-		node := &ExecNode{Op: pn.Op.String(), Table: pn.Table}
-		return &countIter{src: src, node: node}, node, nil
-
-	case OpFilter:
-		child, childNode, err := open(db, pn.Children[0])
-		if err != nil {
-			return nil, nil, err
-		}
-		table := db.Schema.Table(pn.Pred.Table)
-		node := &ExecNode{Op: pn.Op.String(), Table: pn.Pred.Table, PredSQL: pn.Pred.SQL(table), Children: []*ExecNode{childNode}}
-		return &countIter{src: &filterIter{child: child, pn: pn}, node: node}, node, nil
-
-	case OpHashJoin:
-		probe, probeNode, err := open(db, pn.Children[0])
-		if err != nil {
-			return nil, nil, err
-		}
-		build, buildNode, err := open(db, pn.Children[1])
-		if err != nil {
-			return nil, nil, err
-		}
-		node := &ExecNode{Op: pn.Op.String(), JoinSQL: pn.JoinSQL, Children: []*ExecNode{probeNode, buildNode}}
-		return &countIter{src: newHashJoinIter(probe, build, pn), node: node}, node, nil
-
-	case OpAggregate:
-		child, childNode, err := open(db, pn.Children[0])
-		if err != nil {
-			return nil, nil, err
-		}
-		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
-		return &countIter{src: &countStarIter{child: child}, node: node}, node, nil
-
-	case OpGroupAgg:
-		child, childNode, err := open(db, pn.Children[0])
-		if err != nil {
-			return nil, nil, err
-		}
-		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
-		return &countIter{src: &groupAggIter{child: child, pn: pn}, node: node}, node, nil
-
-	default:
-		return nil, nil, fmt.Errorf("engine: unknown operator %v", pn.Op)
-	}
-}
-
-// countIter counts the rows flowing out of an operator into its ExecNode.
-type countIter struct {
-	src  iterator
-	node *ExecNode
-}
-
-func (c *countIter) Next() ([]int64, bool) {
-	row, ok := c.src.Next()
-	if ok {
-		c.node.OutRows++
-	}
-	return row, ok
-}
-
-type filterIter struct {
-	child iterator
-	pn    *PlanNode
-}
-
-func (f *filterIter) Next() ([]int64, bool) {
-	for {
-		row, ok := f.child.Next()
-		if !ok {
-			return nil, false
-		}
-		if f.pn.Pred.Match(row) {
-			return row, true
-		}
-	}
-}
-
-type hashJoinIter struct {
-	probe    iterator
-	leftKey  int
-	buildMap map[int64][][]int64
-
-	// pending rows for the current probe row
-	cur     []int64
-	matches [][]int64
-	mi      int
-}
-
-// newHashJoinIter fully consumes the build side into a hash map keyed by
-// the build key. Build rows are copied: iterator sources (datagen streams
-// in particular) reuse their row buffers, so retaining them verbatim would
-// alias every map entry to the same storage.
-func newHashJoinIter(probe, build iterator, pn *PlanNode) *hashJoinIter {
-	m := make(map[int64][][]int64)
-	for {
-		row, ok := build.Next()
-		if !ok {
-			break
-		}
-		k := row[pn.RightKey]
-		m[k] = append(m[k], append([]int64(nil), row...))
-	}
-	return &hashJoinIter{probe: probe, leftKey: pn.LeftKey, buildMap: m}
-}
-
-func (h *hashJoinIter) Next() ([]int64, bool) {
-	for {
-		if h.mi < len(h.matches) {
-			b := h.matches[h.mi]
-			h.mi++
-			out := make([]int64, 0, len(h.cur)+len(b))
-			out = append(out, h.cur...)
-			out = append(out, b...)
-			return out, true
-		}
-		row, ok := h.probe.Next()
-		if !ok {
-			return nil, false
-		}
-		h.cur = row
-		h.matches = h.buildMap[row[h.leftKey]]
-		h.mi = 0
-	}
-}
-
-// groupAggIter is the row-at-a-time reference GROUP BY operator — the
-// executable specification the vectorized colGroupAggIter is pinned to. It
-// drains its child into per-group accumulators keyed by the encoded key
-// tuple, then emits one row per group, sorted ascending by key tuple, each
-// row laid out in select-list order. Aggregate semantics (AVG as exact
-// int64 sum + count with truncated quotient, SUM/AVG overflow detection,
-// empty-global-group identities) match groupAggState exactly.
-type groupAggIter struct {
-	child iterator
-	pn    *PlanNode
-
-	done bool
-	rows [][]int64 // finalized output rows in deterministic order
-	i    int
-	err  error
-}
-
-func (g *groupAggIter) Next() ([]int64, bool) {
-	if !g.done {
-		g.drain()
-		g.done = true
-	}
-	if g.err != nil || g.i >= len(g.rows) {
-		return nil, false
-	}
-	row := g.rows[g.i]
-	g.i++
-	return row, true
-}
-
-func (g *groupAggIter) drain() {
-	type group struct {
-		key    []int64
-		count  int64
-		accs   []int64
-		accsHi []int64 // SUM/AVG high words (128-bit exact sums)
-	}
-	pn := g.pn
-	byKey := make(map[string]*group)
-	var groups []*group
-	newGroup := func(key []int64) *group {
-		grp := &group{key: key, accs: make([]int64, len(pn.Aggs)), accsHi: make([]int64, len(pn.Aggs))}
-		for ai, spec := range pn.Aggs {
-			switch spec.Fn {
-			case sqlkit.AggMin:
-				grp.accs[ai] = math.MaxInt64
-			case sqlkit.AggMax:
-				grp.accs[ai] = math.MinInt64
-			}
-		}
-		groups = append(groups, grp)
-		return grp
-	}
-	if len(pn.GroupBy) == 0 {
-		newGroup(nil)
-	}
-	keyBytes := make([]byte, 8*len(pn.GroupBy))
-	for {
-		row, ok := g.child.Next()
-		if !ok {
-			break
-		}
-		var grp *group
-		if len(pn.GroupBy) == 0 {
-			grp = groups[0]
-		} else {
-			for ki, c := range pn.GroupBy {
-				v := uint64(row[c])
-				for b := 0; b < 8; b++ {
-					keyBytes[8*ki+b] = byte(v >> (8 * b))
-				}
-			}
-			grp = byKey[string(keyBytes)]
-			if grp == nil {
-				key := make([]int64, len(pn.GroupBy))
-				for ki, c := range pn.GroupBy {
-					key[ki] = row[c]
-				}
-				grp = newGroup(key)
-				byKey[string(keyBytes)] = grp
-			}
-		}
-		grp.count++
-		for ai, spec := range pn.Aggs {
-			if spec.Col < 0 {
-				continue
-			}
-			v := row[spec.Col]
-			switch spec.Fn {
-			case sqlkit.AggSum, sqlkit.AggAvg:
-				add128(&grp.accs[ai], &grp.accsHi[ai], v)
-			case sqlkit.AggMin:
-				if v < grp.accs[ai] {
-					grp.accs[ai] = v
-				}
-			case sqlkit.AggMax:
-				if v > grp.accs[ai] {
-					grp.accs[ai] = v
-				}
-			}
-		}
-	}
-	sort.Slice(groups, func(i, j int) bool {
-		a, b := groups[i].key, groups[j].key
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
-	})
-	// Judge SUM/AVG totals exactly like groupAggState.finish: the exact
-	// 128-bit total must fit int64.
-	for _, grp := range groups {
-		for ai, spec := range pn.Aggs {
-			if spec.Fn != sqlkit.AggSum && spec.Fn != sqlkit.AggAvg {
-				continue
-			}
-			if !sum128Fits(grp.accs[ai], grp.accsHi[ai]) {
-				g.err = fmt.Errorf("engine: %w: %s total exceeds int64", ErrAggOverflow, spec.Fn)
-				return
-			}
-		}
-	}
-	for _, grp := range groups {
-		out := make([]int64, len(pn.Items))
-		for oc, it := range pn.Items {
-			if it.Agg < 0 {
-				out[oc] = grp.key[it.Key]
-				continue
-			}
-			switch pn.Aggs[it.Agg].Fn {
-			case sqlkit.AggCount:
-				out[oc] = grp.count
-			case sqlkit.AggAvg:
-				if grp.count > 0 {
-					out[oc] = grp.accs[it.Agg] / grp.count
-				}
-			default:
-				if grp.count > 0 {
-					out[oc] = grp.accs[it.Agg]
-				}
-			}
-		}
-		g.rows = append(g.rows, out)
-	}
-}
-
-type countStarIter struct {
-	child iterator
-	done  bool
-}
-
-func (c *countStarIter) Next() ([]int64, bool) {
-	if c.done {
-		return nil, false
-	}
-	var n int64
-	for {
-		_, ok := c.child.Next()
-		if !ok {
-			break
-		}
-		n++
-	}
-	c.done = true
-	return []int64{n}, true
+	return allCols(len(plan.Root.Cols))
 }

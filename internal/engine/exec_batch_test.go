@@ -80,6 +80,21 @@ var parityQueries = []string{
 	"SELECT COUNT(q), SUM(q) FROM fact",
 	"SELECT d_fk, SUM(q) FROM fact WHERE q >= 100 GROUP BY d_fk", // empty input
 	"SELECT MIN(q), MAX(q) FROM fact WHERE q >= 100",             // empty global group
+	// ORDER BY / LIMIT / DISTINCT: full sort, top-K, limits landing
+	// mid-batch, OFFSET past the end, LIMIT 0, and sink composition.
+	"SELECT * FROM fact ORDER BY q DESC",
+	"SELECT * FROM fact, dim WHERE fact.d_fk = dim.d_pk ORDER BY a DESC, q",
+	"SELECT * FROM fact ORDER BY q DESC LIMIT 3 OFFSET 1",
+	"SELECT * FROM fact LIMIT 4",
+	"SELECT * FROM fact LIMIT 4 OFFSET 3",
+	"SELECT * FROM fact LIMIT 5 OFFSET 100", // offset past end
+	"SELECT * FROM fact LIMIT 0",
+	"SELECT COUNT(*) FROM fact LIMIT 1",
+	"SELECT DISTINCT d_fk FROM fact",
+	"SELECT DISTINCT d_fk, q FROM fact WHERE q >= 3",
+	"SELECT DISTINCT * FROM dim",
+	"SELECT DISTINCT d_fk FROM fact ORDER BY d_fk DESC LIMIT 2",
+	"SELECT d_fk, COUNT(*) FROM fact GROUP BY d_fk ORDER BY d_fk DESC LIMIT 2 OFFSET 1",
 }
 
 // TestBatchRowParityStored holds the batched path to the row path on

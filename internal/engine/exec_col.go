@@ -7,26 +7,36 @@ import (
 	"repro/internal/pred"
 )
 
-// The columnar execution path — the engine's default. Operators move rows
-// in column-major batches (batch.ColBatch) under late materialization:
-// required-column analysis (plan.go) decides which columns each operator
-// must populate, scans expand only those columns from the summary, filters
-// flip a selection vector instead of compacting row data, and hash joins
-// read nothing but the key column until output materialization. Operator
-// semantics — scan order, filter order preservation, probe-order join
-// output, COUNT(*) — are identical to the row-at-a-time path in exec.go,
-// which the exec parity tests hold it to, byte for byte.
+// The columnar operator set — the engine's only operator implementations.
+// Operators move rows in column-major batches (batch.ColBatch) under late
+// materialization: required-column analysis (plan.go) decides which columns
+// each operator must populate, scans expand only those columns from the
+// summary, filters flip a selection vector instead of compacting row data,
+// and hash joins read nothing but the key column until output
+// materialization. Blocking root operators (GROUP BY, DISTINCT, ORDER BY)
+// are the sink framework in sink.go. Every execution front composes these
+// same operators: Execute drives them batch-wise, ExecuteRows (exec.go) is
+// a thin row-pivot adapter over the identical pipeline, ExecuteParallel
+// (exec_parallel.go) replicates the probe spine per worker over shared
+// build arenas and folds sink partial states, and Prepared/ExecuteIn
+// recycles the opened tree. The parity suites hold all of them to
+// byte-identical results.
 
-// colIterator is the engine-internal columnar operator contract: Next
-// resets dst, fills it with up to dst.Cap() physical output rows (of which
-// Live() are selected), and reports whether it produced any. After the
-// first false return the operator is exhausted. rewind restores the
-// just-opened state for another execution of the same plan (the Prepared
-// reuse path), zeroing the operator's own ExecNode count; shared join
-// builds and their frozen build-side counts are untouched.
+// colIterator is the engine-internal columnar operator contract — the one
+// operator set every execution front composes. Next resets dst, fills it
+// with up to dst.Cap() physical output rows (of which Live() are selected),
+// and reports whether it produced any. After the first false return the
+// operator is exhausted. rewind restores the just-opened state for another
+// execution of the same plan (the Prepared reuse path), zeroing the
+// operator's own ExecNode count; shared join builds and their frozen
+// build-side counts are untouched. deferredErr is the engine's single
+// deferred-error convention: a failure only detectable after an operator's
+// drain (aggregate overflow) parks in the operator and is surfaced here,
+// recursively through the tree, once the drive loop finishes.
 type colIterator interface {
 	Next(dst *batch.ColBatch) bool
 	rewind(db *Database) error
+	deferredErr() error
 }
 
 // rowSeeker is the rewind capability of deterministic scan sources: the
@@ -88,43 +98,39 @@ func executeColumnarFrom(db *Database, plan *Plan, opts ExecOptions, ov *scanOve
 	res := &ExecResult{Root: node}
 	b := batch.NewCol(width, opts.BatchSize, pop)
 	runColumnar(it, b, plan, opts, res)
-	if err := colIterErr(it); err != nil {
+	if err := it.deferredErr(); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// colIterErr surfaces a deferred execution error (aggregate overflow) from
-// the operator tree's root. Only the group aggregate — always the root —
-// can fail after open, so the check is a single type probe.
-func colIterErr(it colIterator) error {
-	if g, ok := it.(*colGroupAggIter); ok {
-		return g.st.err
+// rootNeed is the column set the plan's root output must materialize: the
+// count column for aggregates (wherever the aggregate sits under root
+// sinks), every column when output rows are sampled, nothing otherwise
+// (cardinalities alone flow through the spine).
+func rootNeed(plan *Plan, opts ExecOptions) []int {
+	if plan.countStar() {
+		return []int{0}
+	}
+	if opts.SampleLimit > 0 {
+		return allCols(len(plan.Root.Cols))
 	}
 	return nil
 }
 
-// rootNeed is the column set the plan's root output must materialize: the
-// count column for aggregates, every column when output rows are sampled,
-// nothing otherwise (cardinalities alone flow through the spine).
-func rootNeed(plan *Plan, opts ExecOptions) []int {
-	if plan.Root.Op == OpAggregate {
-		return []int{0}
+// allCols is the complete column set [0, n).
+func allCols(n int) []int {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
 	}
-	if opts.SampleLimit > 0 {
-		all := make([]int, len(plan.Root.Cols))
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	}
-	return nil
+	return all
 }
 
 // runColumnar drives the opened operator tree to exhaustion, accumulating
 // rows, samples, and the COUNT value into res.
 func runColumnar(it colIterator, b *batch.ColBatch, plan *Plan, opts ExecOptions, res *ExecResult) {
-	agg := plan.Root.Op == OpAggregate
+	agg := plan.countStar()
 	for it.Next(b) {
 		live := b.Live()
 		res.Rows += int64(live)
@@ -135,8 +141,14 @@ func runColumnar(it colIterator, b *batch.ColBatch, plan *Plan, opts ExecOptions
 				res.Sample = append(res.Sample, row)
 			}
 		}
-		if agg {
-			res.Count = b.Col(0)[b.Len()-1]
+		if agg && live > 0 {
+			// The aggregate row may arrive under a selection (a LIMIT above
+			// the COUNT slices the batch); read the last live row.
+			r := b.Len() - 1
+			if sel := b.Sel(); sel != nil {
+				r = int(sel[live-1])
+			}
+			res.Count = b.Col(0)[r]
 		}
 	}
 	res.Root.OutRows = res.Rows
@@ -219,19 +231,20 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		c := &colCountStarIter{child: child, buf: batch.NewCol(width, capRows, pop), node: node}
 		return c, 1, []int{0}, node, nil
 
-	case OpGroupAgg:
-		// The child materializes exactly the grouping keys and aggregate
-		// inputs (childNeeds ignores the parent's need); the node's own
-		// output batches populate only the columns the caller asked for —
-		// nothing when just the group count flows, every select item when
-		// rows are sampled.
+	case OpGroupAgg, OpDistinct:
+		// The child materializes exactly the grouping (or distinct) keys and
+		// aggregate inputs (childNeeds ignores the parent's need); the
+		// node's own output batches populate only the columns the caller
+		// asked for — nothing when just the group count flows, every select
+		// item when rows are sampled. Both operators are the one sink
+		// operator over the one hash-aggregation state.
 		childNeed := pn.childNeeds(nil)[0]
 		child, width, pop, childNode, err := openCol(db, pn.Children[0], childNeed, capRows, ov, builds)
 		if err != nil {
 			return nil, 0, nil, nil, err
 		}
 		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
-		g := &colGroupAggIter{
+		g := &colSinkIter{
 			child:   child,
 			buf:     batch.NewCol(width, capRows, pop),
 			st:      newGroupAggState(pn),
@@ -239,6 +252,36 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 			node:    node,
 		}
 		return g, len(pn.Items), need, node, nil
+
+	case OpSort:
+		// The child materializes the output columns plus the sort keys; the
+		// state collects exactly that set, which is also the comparator's
+		// tiebreak domain (identical across all execution fronts).
+		childNeed := pn.childNeeds(need)[0]
+		child, width, pop, childNode, err := openCol(db, pn.Children[0], childNeed, capRows, ov, builds)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
+		s := &colSinkIter{
+			child:   child,
+			buf:     batch.NewCol(width, capRows, pop),
+			st:      newSortState(pn, childNeed, width),
+			outCols: need,
+			node:    node,
+		}
+		return s, width, need, node, nil
+
+	case OpLimit:
+		// Pure truncation over the child's batches: output layout and
+		// populated set pass through untouched.
+		child, width, pop, childNode, err := openCol(db, pn.Children[0], pn.childNeeds(need)[0], capRows, ov, builds)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
+		l := &colLimitIter{child: child, limit: pn.Limit, offset: pn.Offset, node: node}
+		return l, width, pop, node, nil
 
 	default:
 		return nil, 0, nil, nil, fmt.Errorf("engine: unknown operator %v", pn.Op)
@@ -320,6 +363,8 @@ func (s *colScanIter) rewind(db *Database) error {
 	return nil
 }
 
+func (s *colScanIter) deferredErr() error { return nil }
+
 // colFilterIter refines each child batch's selection vector in place with
 // the compiled predicate's vector matcher. No row data moves; order is
 // preserved. Batches whose selection empties are skipped.
@@ -348,6 +393,8 @@ func (f *colFilterIter) rewind(db *Database) error {
 	f.node.OutRows = 0
 	return f.child.rewind(db)
 }
+
+func (f *colFilterIter) deferredErr() error { return f.child.deferredErr() }
 
 // colJoinBuild is the one-time build side of a hash join: per-column
 // arenas of the build rows the output needs (unneeded columns carry no
@@ -454,6 +501,10 @@ func (h *colHashJoinIter) rewind(db *Database) error {
 	return h.probe.rewind(db)
 }
 
+// deferredErr surfaces probe-side deferred errors; the build side is fully
+// consumed at open time, so any failure there was already returned.
+func (h *colHashJoinIter) deferredErr() error { return h.probe.deferredErr() }
+
 func (h *colHashJoinIter) Next(dst *batch.ColBatch) bool {
 	dst.Reset()
 	capRows := dst.Cap()
@@ -507,51 +558,6 @@ func (h *colHashJoinIter) Next(dst *batch.ColBatch) bool {
 	return j > 0
 }
 
-// colGroupAggIter is the vectorized GROUP BY operator: it drains its child
-// into a groupAggState (selection-vector-aware hash aggregation, per-column
-// accumulate passes) on the first Next, then streams the sorted groups out
-// as output batches. An aggregate-overflow error parks in the state and is
-// surfaced by the executor via colIterErr.
-type colGroupAggIter struct {
-	child   colIterator
-	buf     *batch.ColBatch // child output drain batch
-	st      *groupAggState
-	outCols []int // output columns the caller materializes
-	node    *ExecNode
-
-	drained bool
-	pos     int // next sorted group to emit
-}
-
-func (g *colGroupAggIter) Next(dst *batch.ColBatch) bool {
-	dst.Reset()
-	if !g.drained {
-		for g.child.Next(g.buf) {
-			g.st.observe(g.buf)
-		}
-		g.st.finish() // sorts, and judges SUM/AVG totals (may set st.err)
-		g.drained = true
-	}
-	if g.st.err != nil {
-		return false
-	}
-	k := g.st.emit(dst, g.outCols, g.pos)
-	if k == 0 {
-		return false
-	}
-	g.pos += k
-	g.node.OutRows += int64(k)
-	return true
-}
-
-func (g *colGroupAggIter) rewind(db *Database) error {
-	g.st.reset()
-	g.drained = false
-	g.pos = 0
-	g.node.OutRows = 0
-	return g.child.rewind(db)
-}
-
 // colCountStarIter drains its child, emitting the single COUNT(*) row. Its
 // drain batch materializes no columns at all: pure cardinality flow.
 type colCountStarIter struct {
@@ -582,3 +588,5 @@ func (c *colCountStarIter) rewind(db *Database) error {
 	c.node.OutRows = 0
 	return c.child.rewind(db)
 }
+
+func (c *colCountStarIter) deferredErr() error { return c.child.deferredErr() }

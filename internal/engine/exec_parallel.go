@@ -16,11 +16,19 @@ import (
 // consumed once, sequentially, into read-only colJoinBuild arenas shared
 // by every worker; each worker probes them with its own columnar pipeline
 // (projected scans, selection-vector filters), accumulating per-operator
-// cardinalities into worker-local shadow ExecNodes. The merge is
-// deterministic: shadow counts are summed in worker order (addition makes
-// the result schedule-independent) and sample rows are re-assembled in
-// morsel order, so the ExecResult is byte-identical to the sequential
-// columnar executor's, regardless of worker count or scheduling.
+// cardinalities into worker-local shadow ExecNodes.
+//
+// Root sinks — COUNT(*), GROUP BY, DISTINCT, ORDER BY, LIMIT — compose via
+// the partial-state/merge contract of sink.go rather than parallel-specific
+// operator code: each worker folds its morsels' spine output into a private
+// sinkState (groupAggState, sortState, or the plain row count), partials
+// merge in worker-index order, and the merged state is emitted through the
+// same colSinkIter/colLimitIter operators the sequential executor runs. The
+// merge is deterministic end to end: shadow counts are summed in worker
+// order, sink states merge order-insensitively (exact 128-bit sums; total-
+// order sorting), and sample rows are re-assembled in morsel order, so the
+// ExecResult is byte-identical to the sequential columnar executor's,
+// regardless of worker count or scheduling.
 
 // ExecuteParallel runs the plan on opts.Parallelism workers (<= 0 selects
 // GOMAXPROCS; the value is honored verbatim, without Execute's clamp, so
@@ -55,6 +63,16 @@ func executeParallelFrom(db *Database, plan *Plan, opts ExecOptions, builds buil
 	return pp.run(workers, opts)
 }
 
+// isRootSink reports whether op is a blocking root operator handled by the
+// sink framework (everything that is not part of the probe spine).
+func isRootSink(op OpKind) bool {
+	switch op {
+	case OpAggregate, OpGroupAgg, OpDistinct, OpSort, OpLimit:
+		return true
+	}
+	return false
+}
+
 // joinStage is one hash join of the probe spine: the shared read-only
 // build state plus what a worker needs to instantiate its probe iterator.
 type joinStage struct {
@@ -66,11 +84,14 @@ type joinStage struct {
 	node      *ExecNode // real (merged) node
 }
 
-// parallelPlan is a plan opened for morsel-driven execution: the probe
-// spine decomposed into scan → optional filter → join stages (innermost
-// first), with all build sides already consumed into shared arenas and
-// required-column sets resolved top-down.
+// parallelPlan is a plan opened for morsel-driven execution: the root sink
+// stack peeled off (outermost first), the probe spine decomposed into
+// scan → optional filter → join stages (innermost first), all build sides
+// already consumed into shared arenas, and required-column sets resolved
+// top-down through sinks and spine alike.
 type parallelPlan struct {
+	plan *Plan
+
 	src      parallel.Source
 	scanNeed []int // projection pushed into each morsel's scan
 	scanCols int   // scan width
@@ -81,19 +102,44 @@ type parallelPlan struct {
 
 	stages []joinStage // innermost (nearest the scan) first
 
-	agg     bool
-	aggNode *ExecNode
-
-	// Grouped aggregation: each worker folds its morsels' spine output into
-	// a private groupAggState (partial aggregates over the shared build
-	// arenas); partials are merged in worker order and sorted, so the
-	// grouped result is byte-identical to sequential execution.
-	groupPn   *PlanNode
-	groupNode *ExecNode
+	// The root sink stack, outermost first: sinks[len-1] (the bottom sink,
+	// nearest the spine) is what workers fold their spine output into;
+	// everything above it is applied once, at merge time, through the same
+	// operators the sequential executor uses. sinkNeeds[i] is the column
+	// set sink i's output must materialize (sinkNeeds[0] derives from the
+	// root; sinkNeeds[len] is the spine top's need).
+	sinks     []*PlanNode
+	sinkNodes []*ExecNode
+	sinkNeeds [][]int
 
 	root    *ExecNode
-	width   int   // output width of the spine top (below any aggregate)
+	width   int   // output width of the spine top (below any sink)
 	topNeed []int // populated columns of the spine top's batches
+}
+
+// bottom returns the innermost sink plan node, or nil when the plan is pure
+// spine.
+func (pp *parallelPlan) bottom() *PlanNode {
+	if len(pp.sinks) == 0 {
+		return nil
+	}
+	return pp.sinks[len(pp.sinks)-1]
+}
+
+// sinkWidth returns the output width of sink i; i == len(sinks) addresses
+// the spine top.
+func (pp *parallelPlan) sinkWidth(i int) int {
+	if i == len(pp.sinks) {
+		return pp.width
+	}
+	switch sn := pp.sinks[i]; sn.Op {
+	case OpGroupAgg, OpDistinct:
+		return len(sn.Items)
+	case OpAggregate:
+		return 1
+	default: // OpSort, OpLimit: layout passes through
+		return pp.sinkWidth(i + 1)
+	}
 }
 
 // spineNodes lists the real probe-spine ExecNodes in merge order.
@@ -108,22 +154,18 @@ func (pp *parallelPlan) spineNodes() []*ExecNode {
 	return nodes
 }
 
-// openParallel decomposes the plan into probe spine + build sides. A nil
-// parallelPlan (with nil error) means the plan is not morsel-partitionable
-// — the leaf scan's source lacks the parallel.Source contract or the
-// spine has an unexpected shape — and the caller must fall back to
-// sequential execution; the returned scanOverride then carries the
+// openParallel decomposes the plan into sink stack + probe spine + build
+// sides. A nil parallelPlan (with nil error) means the plan is not
+// morsel-partitionable — the leaf scan's source lacks the parallel.Source
+// contract or the spine has an unexpected shape — and the caller must fall
+// back to sequential execution; the returned scanOverride then carries the
 // already-opened leaf source, if any, so it is reused rather than opened
 // a second time.
 func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache) (*parallelPlan, *scanOverride, error) {
-	pp := &parallelPlan{}
+	pp := &parallelPlan{plan: plan}
 	pn := plan.Root
-	switch pn.Op {
-	case OpAggregate:
-		pp.agg = true
-		pn = pn.Children[0]
-	case OpGroupAgg:
-		pp.groupPn = pn
+	for isRootSink(pn.Op) {
+		pp.sinks = append(pp.sinks, pn)
 		pn = pn.Children[0]
 	}
 	// Collect the probe spine top-down: joins, then an optional filter,
@@ -153,22 +195,16 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache)
 	}
 	pp.src = ps
 
-	// Required-column analysis, top-down along the spine: samples need the
-	// full output, COUNT(*) needs no columns beyond keys and predicates,
-	// grouped aggregation exactly its keys and aggregate inputs.
-	spineTop := plan.Root
-	if pp.agg || pp.groupPn != nil {
-		spineTop = spineTop.Children[0]
+	// Required-column analysis, top-down: the root's need (samples
+	// materialize the full output, COUNT(*) only its count column) is
+	// translated through each sink by the same childNeeds the sequential
+	// executor uses, then along the join spine.
+	pp.sinkNeeds = make([][]int, len(pp.sinks)+1)
+	pp.sinkNeeds[0] = rootNeed(plan, opts)
+	for i, sn := range pp.sinks {
+		pp.sinkNeeds[i+1] = sn.childNeeds(pp.sinkNeeds[i])[0]
 	}
-	var need []int
-	switch {
-	case pp.groupPn != nil:
-		need = pp.groupPn.childNeeds(nil)[0]
-	case opts.SampleLimit > 0 && !pp.agg:
-		for i := range spineTop.Cols {
-			need = append(need, i)
-		}
-	}
+	need := pp.sinkNeeds[len(pp.sinks)]
 	pp.topNeed = need
 	probeNeeds := make([][]int, len(joinPns)) // by joinPns index (outermost first)
 	buildNeeds := make([][]int, len(joinPns))
@@ -239,15 +275,14 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache)
 		cur = node
 	}
 	pp.width = width
+	// Sink ExecNodes wrap the spine, innermost-out.
+	pp.sinkNodes = make([]*ExecNode, len(pp.sinks))
+	for i := len(pp.sinks) - 1; i >= 0; i-- {
+		node := &ExecNode{Op: pp.sinks[i].Op.String(), Children: []*ExecNode{cur}}
+		pp.sinkNodes[i] = node
+		cur = node
+	}
 	pp.root = cur
-	if pp.agg {
-		pp.aggNode = &ExecNode{Op: OpAggregate.String(), Children: []*ExecNode{cur}}
-		pp.root = pp.aggNode
-	}
-	if pp.groupPn != nil {
-		pp.groupNode = &ExecNode{Op: OpGroupAgg.String(), Children: []*ExecNode{cur}}
-		pp.root = pp.groupNode
-	}
 	return pp, nil, nil
 }
 
@@ -269,9 +304,12 @@ func morselRows(total int64, workers, batchSize int) int64 {
 	return m
 }
 
-// sampleRun is the samples one worker collected from one morsel, tagged
-// with the morsel's row offset so the sequential sample order can be
-// reassembled deterministically.
+// sampleRun is the output rows one worker collected from one morsel, tagged
+// with the morsel's row offset so the sequential output order can be
+// reassembled deterministically. The plain spine collects up to SampleLimit
+// rows per morsel; a root LIMIT collects up to offset+SampleLimit, since the
+// true first offset+k output rows are contained in the first offset+k of
+// each morsel.
 type sampleRun struct {
 	lo   int64
 	rows [][]int64
@@ -279,13 +317,15 @@ type sampleRun struct {
 
 // workerState is one worker's private accumulation: shadow ExecNodes for
 // the spine (merged by summation afterwards), the count of rows the spine
-// top produced, morsel-tagged samples, and — for grouped aggregation — the
-// worker's partial aggregate state.
+// top produced, morsel-tagged output runs, and — when the bottom sink is a
+// grouped aggregate, DISTINCT, or ORDER BY — the worker's partial sink
+// state (the partial-state half of the partial-state/merge contract).
 type workerState struct {
 	shadow []*ExecNode
 	rows   int64
 	runs   []sampleRun
 	group  *groupAggState
+	sort   *sortState
 }
 
 // run executes the opened plan on the given number of workers and merges
@@ -304,14 +344,31 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 		}
 	}
 	morsels := parallel.NewMorsels(total, size)
-	grouped := pp.groupPn != nil
-	collectSamples := opts.SampleLimit > 0 && !pp.agg && !grouped
+
+	bottom := pp.bottom()
+	// Workers collect output-row runs when rows (not sink partials) flow out
+	// of the spine and the caller samples them: the pure spine, or a root
+	// LIMIT directly over it.
+	var runCap int64
+	if opts.SampleLimit > 0 {
+		switch {
+		case bottom == nil:
+			runCap = int64(opts.SampleLimit)
+		case bottom.Op == OpLimit:
+			runCap = bottom.Offset + int64(opts.SampleLimit)
+		}
+	}
 
 	states := make([]*workerState, workers)
 	for w := range states {
 		states[w] = &workerState{}
-		if grouped {
-			states[w].group = newGroupAggState(pp.groupPn)
+		if bottom != nil {
+			switch bottom.Op {
+			case OpGroupAgg, OpDistinct:
+				states[w].group = newGroupAggState(bottom)
+			case OpSort:
+				states[w].sort = newSortState(bottom, pp.topNeed, pp.width)
+			}
 		}
 	}
 
@@ -358,13 +415,17 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 			for cur.Next(b) {
 				live := b.Live()
 				st.rows += int64(live)
-				if st.group != nil {
+				switch {
+				case st.group != nil:
 					st.group.observe(b) // infallible; totals are judged at merge-side finish
-				}
-				for i := 0; collectSamples && len(run.rows) < opts.SampleLimit && i < live; i++ {
-					row := make([]int64, b.Width())
-					b.LiveRow(i, row)
-					run.rows = append(run.rows, row)
+				case st.sort != nil:
+					st.sort.observe(b)
+				default:
+					for i := 0; int64(len(run.rows)) < runCap && i < live; i++ {
+						row := make([]int64, b.Width())
+						b.LiveRow(i, row)
+						run.rows = append(run.rows, row)
+					}
 				}
 			}
 			if len(run.rows) > 0 {
@@ -376,8 +437,9 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 		return nil, err
 	}
 
-	// Deterministic merge: per-node sums are schedule-independent, and
-	// samples reassemble in morsel (= sequential row) order.
+	// Deterministic merge: per-node sums are schedule-independent, sink
+	// partials fold in worker order, and output runs reassemble in morsel
+	// (= sequential row) order.
 	spine := pp.spineNodes()
 	for i, node := range spine {
 		var sum int64
@@ -393,55 +455,103 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 
 	res := &ExecResult{Root: pp.root}
 	switch {
-	case pp.agg:
-		res.Rows = 1
-		res.Count = outRows
-		pp.aggNode.OutRows = 1
-		if opts.SampleLimit > 0 {
-			res.Sample = [][]int64{{outRows}}
-		}
-	case grouped:
-		// Fold worker partials in worker order (deterministic sums), sort,
-		// and materialize — exactly what the sequential colGroupAggIter
-		// emits, so parallel grouped results are byte-identical to it.
-		merged := states[0].group
-		for _, st := range states[1:] {
-			merged.merge(st.group)
-		}
-		merged.finish() // sorts, and judges SUM/AVG totals
-		if merged.err != nil {
-			return nil, merged.err
-		}
-		res.Rows = int64(merged.groups())
-		if opts.SampleLimit > 0 {
-			items := pp.groupPn.Items
-			for i := 0; i < len(merged.order) && i < opts.SampleLimit; i++ {
-				g := merged.order[i]
-				row := make([]int64, len(items))
-				for oc, it := range items {
-					row[oc] = merged.value(it, g)
-				}
-				res.Sample = append(res.Sample, row)
-			}
-		}
-	default:
+	case bottom == nil:
 		res.Rows = outRows
-		if collectSamples {
-			var runs []sampleRun
-			for _, st := range states {
-				runs = append(runs, st.runs...)
+		res.Sample = mergedRunRows(states, 0, outRows, opts.SampleLimit)
+		pp.root.OutRows = res.Rows
+		return res, nil
+
+	case bottom.Op == OpLimit:
+		// LIMIT over the bare spine: pure arithmetic over the merged counts,
+		// with sample rows cut from the morsel-ordered runs.
+		em := outRows - bottom.Offset
+		if em < 0 {
+			em = 0
+		}
+		if em > bottom.Limit {
+			em = bottom.Limit
+		}
+		res.Rows = em
+		res.Sample = mergedRunRows(states, bottom.Offset, em, opts.SampleLimit)
+		pp.sinkNodes[len(pp.sinks)-1].OutRows = em
+		pp.root.OutRows = res.Rows
+		return res, nil
+	}
+
+	// Sink-state bottom: fold worker partials in worker order, finish once,
+	// then emit the merged state through the very operators the sequential
+	// executor runs for the sinks above it.
+	var merged sinkState
+	switch bottom.Op {
+	case OpGroupAgg, OpDistinct:
+		g := states[0].group
+		for _, st := range states[1:] {
+			g.merge(st.group)
+		}
+		merged = g
+	case OpSort:
+		s := states[0].sort
+		for _, st := range states[1:] {
+			s.merge(st.sort)
+		}
+		merged = s
+	case OpAggregate:
+		merged = &countState{n: outRows}
+	}
+	merged.finish()
+
+	bi := len(pp.sinks) - 1
+	var cur colIterator = &stateEmitIter{st: merged, outCols: pp.sinkNeeds[bi], node: pp.sinkNodes[bi]}
+	for i := bi - 1; i >= 0; i-- {
+		sn := pp.sinks[i]
+		childW := pp.sinkWidth(i + 1)
+		switch sn.Op {
+		case OpSort:
+			cur = &colSinkIter{
+				child:   cur,
+				buf:     batch.NewCol(childW, opts.BatchSize, pp.sinkNeeds[i+1]),
+				st:      newSortState(sn, pp.sinkNeeds[i+1], childW),
+				outCols: pp.sinkNeeds[i],
+				node:    pp.sinkNodes[i],
 			}
-			sort.Slice(runs, func(i, j int) bool { return runs[i].lo < runs[j].lo })
-			for _, r := range runs {
-				for _, row := range r.rows {
-					if len(res.Sample) >= opts.SampleLimit {
-						break
-					}
-					res.Sample = append(res.Sample, row)
-				}
-			}
+		case OpLimit:
+			cur = &colLimitIter{child: cur, limit: sn.Limit, offset: sn.Offset, node: pp.sinkNodes[i]}
 		}
 	}
-	pp.root.OutRows = res.Rows
+	b := batch.NewCol(pp.sinkWidth(0), opts.BatchSize, pp.sinkNeeds[0])
+	runColumnar(cur, b, pp.plan, opts, res)
+	if err := cur.deferredErr(); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// mergedRunRows reassembles the workers' morsel-tagged output runs in
+// sequential row order and returns the sample: up to sampleLimit rows after
+// skipping skip rows, capped at emit rows total.
+func mergedRunRows(states []*workerState, skip, emit int64, sampleLimit int) [][]int64 {
+	if sampleLimit <= 0 || emit <= 0 {
+		return nil
+	}
+	var runs []sampleRun
+	for _, st := range states {
+		runs = append(runs, st.runs...)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].lo < runs[j].lo })
+	var out [][]int64
+	var skipped, taken int64
+	for _, r := range runs {
+		for _, row := range r.rows {
+			if skipped < skip {
+				skipped++
+				continue
+			}
+			if taken >= emit || len(out) >= sampleLimit {
+				return out
+			}
+			out = append(out, row)
+			taken++
+		}
+	}
+	return out
 }

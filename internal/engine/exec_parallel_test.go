@@ -83,6 +83,21 @@ var parallelQueries = []string{
 	"SELECT a, COUNT(*) FROM fact, dim WHERE d_fk = d_pk AND q < 7 GROUP BY a",
 	"SELECT COUNT(q), SUM(q) FROM fact",
 	"SELECT d_fk, SUM(q) FROM fact WHERE q >= 100 GROUP BY d_fk", // empty input
+	// Sink stacks over the spine: per-worker sort partials (full and
+	// top-K), morsel-ordered LIMIT runs, distinct partials, and their
+	// compositions — all byte-identical to sequential at any worker count.
+	"SELECT * FROM fact ORDER BY q DESC",
+	"SELECT * FROM fact, dim WHERE d_fk = d_pk ORDER BY a DESC, q",
+	"SELECT * FROM fact ORDER BY q DESC LIMIT 7 OFFSET 2",
+	"SELECT * FROM fact LIMIT 9",
+	"SELECT * FROM fact WHERE q >= 3 LIMIT 11 OFFSET 5",
+	"SELECT * FROM fact LIMIT 5 OFFSET 100000", // offset past end
+	"SELECT * FROM fact LIMIT 0",
+	"SELECT COUNT(*) FROM fact LIMIT 1",
+	"SELECT DISTINCT q FROM fact",
+	"SELECT DISTINCT d_fk, q FROM fact WHERE q >= 3",
+	"SELECT DISTINCT q FROM fact ORDER BY q DESC LIMIT 3",
+	"SELECT d_fk, COUNT(*) FROM fact GROUP BY d_fk ORDER BY d_fk DESC LIMIT 2 OFFSET 1",
 }
 
 // TestExecuteParallelStoredParity holds morsel-parallel execution over
@@ -124,7 +139,14 @@ func TestExecuteParallelFallback(t *testing.T) {
 		opened++
 		return &sliceOpaque{rows: rows}, nil
 	})
-	for _, sql := range []string{"SELECT COUNT(*) FROM fact WHERE q >= 3", "SELECT * FROM fact"} {
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM fact WHERE q >= 3",
+		"SELECT * FROM fact",
+		// Sink plans fall back the same way: the pre-opened scan is handed
+		// to the sequential executor underneath the sink stack.
+		"SELECT * FROM fact ORDER BY q DESC LIMIT 3",
+		"SELECT DISTINCT q FROM fact",
+	} {
 		plan := mustPlan(t, db, sql)
 		want, err := executeColumnar(db, plan, ExecOptions{SampleLimit: 5})
 		if err != nil {

@@ -18,9 +18,12 @@ import (
 // boundaries, morsel partitioning, or worker count. Test with errors.Is.
 var ErrAggOverflow = errors.New("aggregate overflow")
 
-// groupAggState is the vectorized hash-aggregation state behind OpGroupAgg,
-// shared by the sequential columnar executor, each worker of the parallel
-// executor (partial aggregation, merged deterministically afterwards), and
+// groupAggState is the vectorized hash-aggregation state behind OpGroupAgg
+// and OpDistinct (DISTINCT is grouping over the select list with no
+// aggregates, emitting only the keys). It implements the sinkState contract
+// (sink.go) and is thereby shared by the sequential columnar executor, the
+// row-pivot reference path, each worker of the parallel executor (partial
+// aggregation via observe, merged deterministically in worker order), and
 // the Prepared/ExecuteIn reuse path.
 //
 // Layout is columnar throughout: group keys live in one slice per GROUP BY
@@ -102,8 +105,9 @@ func (st *groupAggState) reset() {
 	}
 }
 
-// groups returns the number of distinct groups observed so far.
-func (st *groupAggState) groups() int { return len(st.counts) }
+// deferredErr reports an aggregate-overflow failure judged at finish,
+// implementing the sinkState deferred-error convention.
+func (st *groupAggState) deferredErr() error { return st.err }
 
 // addGroup appends a fresh group with the given key hash; the caller fills
 // its key values. Accumulators start at the aggregate's identity (MIN at

@@ -18,6 +18,9 @@ const (
 	OpHashJoin
 	OpAggregate // COUNT(*)
 	OpGroupAgg  // GROUP BY keys + COUNT/SUM/MIN/MAX/AVG aggregates
+	OpDistinct  // SELECT DISTINCT: dedup over the selected columns
+	OpSort      // ORDER BY keys (ascending/descending, full-row tiebreak)
+	OpLimit     // LIMIT n [OFFSET k]
 )
 
 // String names the operator as it appears in AQPs.
@@ -33,6 +36,12 @@ func (k OpKind) String() string {
 		return "AGGREGATE"
 	case OpGroupAgg:
 		return "GROUP AGG"
+	case OpDistinct:
+		return "DISTINCT"
+	case OpSort:
+		return "SORT"
+	case OpLimit:
+		return "LIMIT"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -53,6 +62,17 @@ type AggSpec struct {
 type GroupOut struct {
 	Key int
 	Agg int
+}
+
+// SortKey is one ORDER BY key of an OpSort node: the column's position in
+// the node's output and the direction. Ties across all sort keys are broken
+// by the remaining output columns ascending, so sorted output is a total
+// order up to full-row equality — the property that makes ORDER BY results
+// byte-identical across the sequential, row-pivot, and morsel-parallel
+// executors (SQL leaves tie order unspecified; Hydra pins it).
+type SortKey struct {
+	Col  int
+	Desc bool
 }
 
 // ColRef locates an output column: which table it came from and the column's
@@ -76,10 +96,23 @@ type PlanNode struct {
 	// OpGroupAgg: GroupBy lists the grouping-key positions in the child's
 	// output (GROUP BY clause order — the deterministic output sort order);
 	// Aggs the aggregate specs; Items maps each output column, in
-	// select-list order, to a grouping key or an aggregate.
+	// select-list order, to a grouping key or an aggregate. OpDistinct
+	// reuses the same three fields with no Aggs: its keys are the selected
+	// columns and its output is one row per distinct key tuple — which is
+	// why both operators share one execution state (groupAggState).
 	GroupBy []int
 	Aggs    []AggSpec
 	Items   []GroupOut
+
+	// OpSort: the ORDER BY keys in clause order. SortBound, when > 0, is
+	// offset+limit of a LIMIT node directly above the sort: the sort may
+	// retain only the SortBound smallest rows (top-K) since the limit
+	// discards everything beyond them.
+	SortKeys  []SortKey
+	SortBound int64
+
+	// OpLimit: emit at most Limit rows after skipping Offset (both >= 0).
+	Limit, Offset int64
 
 	Children []*PlanNode
 	Cols     []ColRef // output column layout
@@ -187,8 +220,77 @@ func BuildPlan(s *schema.Schema, q *sqlkit.Query) (*Plan, error) {
 			return nil, err
 		}
 		cur = gn
+	case q.Distinct:
+		dn, err := buildDistinct(tables, q, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = dn
+	}
+
+	// Root sinks, innermost-out: DISTINCT (above), then ORDER BY, then
+	// LIMIT. Each is one operator implementation shared by every executor.
+	if len(q.OrderBy) > 0 {
+		sn := &PlanNode{Op: OpSort, Children: []*PlanNode{cur}, Cols: cur.Cols}
+		for _, o := range q.OrderBy {
+			tbl, col, err := resolveColumnRef(tables, o.Col)
+			if err != nil {
+				return nil, err
+			}
+			pos := findCol(cur.Cols, tbl, col)
+			if pos < 0 {
+				return nil, fmt.Errorf("engine: ORDER BY column %s is not in the query output", o.Col)
+			}
+			sn.SortKeys = append(sn.SortKeys, SortKey{Col: pos, Desc: o.Desc})
+		}
+		cur = sn
+	}
+	if q.Limit != nil {
+		ln := &PlanNode{Op: OpLimit, Limit: *q.Limit, Offset: q.Offset, Children: []*PlanNode{cur}, Cols: cur.Cols}
+		if sn := ln.Children[0]; sn.Op == OpSort {
+			// The limit bounds the sort directly: only the offset+limit
+			// smallest rows can ever be emitted, so the sort may run top-K.
+			if bound := ln.Offset + ln.Limit; bound > 0 && bound >= ln.Offset {
+				sn.SortBound = bound
+			}
+		}
+		cur = ln
 	}
 	return &Plan{Query: q, Root: cur}, nil
+}
+
+// buildDistinct compiles SELECT DISTINCT onto the join tree: the selected
+// columns (every column for SELECT DISTINCT *) become the dedup key, and the
+// node's output is exactly those columns in select-list order — one row per
+// distinct key tuple, sorted ascending by the tuple so the result is
+// deterministic on every execution path. Execution reuses the grouped
+// aggregation state with no aggregates: DISTINCT is GROUP BY over the
+// select list, emitting only the keys.
+func buildDistinct(tables map[string]*schema.Table, q *sqlkit.Query, child *PlanNode) (*PlanNode, error) {
+	node := &PlanNode{Op: OpDistinct, Children: []*PlanNode{child}}
+	addKey := func(pos int) {
+		node.Items = append(node.Items, GroupOut{Key: len(node.GroupBy), Agg: -1})
+		node.GroupBy = append(node.GroupBy, pos)
+		node.Cols = append(node.Cols, child.Cols[pos])
+	}
+	if q.Star {
+		for pos := range child.Cols {
+			addKey(pos)
+		}
+		return node, nil
+	}
+	for _, ref := range q.Columns {
+		tbl, col, err := resolveColumnRef(tables, ref)
+		if err != nil {
+			return nil, err
+		}
+		pos := findCol(child.Cols, tbl, col)
+		if pos < 0 {
+			return nil, fmt.Errorf("engine: internal: column %s not in join output", ref)
+		}
+		addKey(pos)
+	}
+	return node, nil
 }
 
 // buildGroupAgg compiles the grouped select list onto the join tree:
@@ -307,10 +409,10 @@ func (pn *PlanNode) childNeeds(need []int) [][]int {
 	case OpAggregate:
 		// COUNT(*) consumes cardinality only — no child columns at all.
 		return [][]int{nil}
-	case OpGroupAgg:
+	case OpGroupAgg, OpDistinct:
 		// The node's output columns are computed, so the parent's need is
-		// irrelevant: the child must materialize exactly the grouping keys
-		// and aggregate inputs.
+		// irrelevant: the child must materialize exactly the grouping (or
+		// distinct) keys and aggregate inputs.
 		var child []int
 		for _, c := range pn.GroupBy {
 			child = addCol(child, c)
@@ -321,9 +423,32 @@ func (pn *PlanNode) childNeeds(need []int) [][]int {
 			}
 		}
 		return [][]int{child}
+	case OpSort:
+		// The sort's output layout is its child's; it additionally reads its
+		// key columns. What the child materializes here is also the sort's
+		// collected-column set — the tiebreak domain of its total order.
+		child := append([]int(nil), need...)
+		for _, k := range pn.SortKeys {
+			child = addCol(child, k.Col)
+		}
+		return [][]int{child}
+	case OpLimit:
+		// Pure truncation: output layout and needs pass through.
+		return [][]int{append([]int(nil), need...)}
 	default:
 		return nil
 	}
+}
+
+// countStar reports whether the plan computes COUNT(*): an OpAggregate at
+// the root, possibly under a LIMIT. The executors use it to route the count
+// value out of output column 0.
+func (p *Plan) countStar() bool {
+	pn := p.Root
+	for pn.Op == OpLimit || pn.Op == OpSort {
+		pn = pn.Children[0]
+	}
+	return pn.Op == OpAggregate
 }
 
 // RequiredScanCols reports, per scanned table, the columns the plan must
@@ -345,7 +470,10 @@ func (p *Plan) RequiredScanCols(withOutput bool) map[string][]int {
 		}
 	}
 	var need []int
-	if withOutput && p.Root.Op != OpAggregate && p.Root.Op != OpGroupAgg {
+	if withOutput && !p.countStar() {
+		// Computed outputs (GROUP AGG, DISTINCT) translate the request into
+		// their key and aggregate inputs via childNeeds, so listing every
+		// root column is exact for any root operator.
 		for i := range p.Root.Cols {
 			need = append(need, i)
 		}

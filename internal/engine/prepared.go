@@ -39,7 +39,7 @@ func Prepare(db *Database, plan *Plan, opts ExecOptions) (*Prepared, error) {
 
 func (p *Prepared) prepareNode(pn *PlanNode, capRows int) error {
 	switch pn.Op {
-	case OpFilter, OpAggregate, OpGroupAgg:
+	case OpFilter, OpAggregate, OpGroupAgg, OpDistinct, OpSort, OpLimit:
 		return p.prepareNode(pn.Children[0], capRows)
 	case OpHashJoin:
 		if err := p.prepareNode(pn.Children[0], capRows); err != nil {
@@ -123,7 +123,7 @@ func (p *Prepared) ExecuteIn(st *ExecState, opts ExecOptions) (*ExecResult, erro
 	st.res.Rows, st.res.Count = 0, 0
 	st.res.Sample = nil
 	runColumnar(st.it, st.b, p.plan, opts, &st.res)
-	if err := colIterErr(st.it); err != nil {
+	if err := st.it.deferredErr(); err != nil {
 		return nil, err
 	}
 	return &st.res, nil

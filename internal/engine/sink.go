@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"repro/internal/batch"
+)
+
+// The sink framework: every blocking root operator — grouped aggregation,
+// DISTINCT, ORDER BY, COUNT(*) — is one state object implementing sinkState,
+// executed by the single colSinkIter operator. The same state serves all
+// execution fronts:
+//
+//   - the sequential columnar executor drives observe over child batches and
+//     emit over the finished state (colSinkIter);
+//   - ExecuteRows is a row pivot over the identical pipeline, so the row
+//     path exercises the very same state;
+//   - the morsel-parallel executor holds one state per worker (partial
+//     accumulation via observe), folds partials with merge in worker-index
+//     order, and emits the merged state through stateEmitIter — the
+//     partial-state/merge contract that replaces per-executor operator
+//     reimplementations;
+//   - Prepared.ExecuteIn recycles the state via reset, so grouped, distinct,
+//     and sorted steady-state queries allocate nothing.
+//
+// finish freezes the deterministic output order exactly once; emit is then a
+// pure, restartable read. deferredErr surfaces failures that can only be
+// judged after the drain (aggregate overflow), replacing the old
+// rowIterErr/colIterErr type probes with one convention shared by every
+// operator.
+type sinkState interface {
+	// observe folds one child batch into the state (selection-aware).
+	observe(b *batch.ColBatch)
+	// finish freezes the deterministic output order and judges deferred
+	// failures. Called exactly once per execution, after the last observe —
+	// for parallel execution, after the last merge.
+	finish()
+	// emit writes output rows [pos, pos+k) into dst, populating only
+	// outCols, and returns k (0 = exhausted).
+	emit(dst *batch.ColBatch, outCols []int, pos int) int
+	// reset recycles the state for another execution without releasing
+	// storage (the zero-allocation steady-state contract).
+	reset()
+	// deferredErr reports a failure detected at finish, or nil.
+	deferredErr() error
+}
+
+// colSinkIter is the one blocking operator of the columnar pipeline: it
+// drains its child into a sinkState on the first Next, then streams the
+// state's deterministic output. OpGroupAgg, OpDistinct (both groupAggState),
+// and OpSort (sortState) are this operator with different states.
+type colSinkIter struct {
+	child   colIterator
+	buf     *batch.ColBatch // child output drain batch
+	st      sinkState
+	outCols []int // output columns the caller materializes
+	node    *ExecNode
+
+	drained bool
+	pos     int // next output row to emit
+}
+
+func (g *colSinkIter) Next(dst *batch.ColBatch) bool {
+	dst.Reset()
+	if !g.drained {
+		for g.child.Next(g.buf) {
+			g.st.observe(g.buf)
+		}
+		g.st.finish() // freezes order; may park a deferred error
+		g.drained = true
+	}
+	if g.st.deferredErr() != nil {
+		return false
+	}
+	k := g.st.emit(dst, g.outCols, g.pos)
+	if k == 0 {
+		return false
+	}
+	g.pos += k
+	g.node.OutRows += int64(k)
+	return true
+}
+
+func (g *colSinkIter) rewind(db *Database) error {
+	g.st.reset()
+	g.drained = false
+	g.pos = 0
+	g.node.OutRows = 0
+	return g.child.rewind(db)
+}
+
+func (g *colSinkIter) deferredErr() error {
+	if err := g.st.deferredErr(); err != nil {
+		return err
+	}
+	return g.child.deferredErr()
+}
+
+// stateEmitIter streams an already-finished sinkState — the parallel
+// executor's merged partials — through the same emit contract colSinkIter
+// uses, so the merge side of ExecuteParallel is the sequential emission
+// code, not a reimplementation. It is single-shot: the merged state is not
+// re-drainable.
+type stateEmitIter struct {
+	st      sinkState
+	outCols []int
+	node    *ExecNode
+	pos     int
+}
+
+func (e *stateEmitIter) Next(dst *batch.ColBatch) bool {
+	dst.Reset()
+	if e.st.deferredErr() != nil {
+		return false
+	}
+	k := e.st.emit(dst, e.outCols, e.pos)
+	if k == 0 {
+		return false
+	}
+	e.pos += k
+	e.node.OutRows += int64(k)
+	return true
+}
+
+func (e *stateEmitIter) rewind(*Database) error {
+	e.pos = 0
+	e.node.OutRows = 0
+	return nil
+}
+
+func (e *stateEmitIter) deferredErr() error { return e.st.deferredErr() }
+
+// countState is COUNT(*) as a sinkState: a row counter emitting the single
+// aggregate row. The sequential executor uses the streaming colCountStarIter
+// (which needs no materialized state at all); countState is how the parallel
+// executor's merged row count re-enters the shared sink emission path when
+// sinks sit above the aggregate.
+type countState struct {
+	n int64
+}
+
+func (st *countState) observe(b *batch.ColBatch) { st.n += int64(b.Live()) }
+func (st *countState) finish()                   {}
+func (st *countState) reset()                    { st.n = 0 }
+func (st *countState) deferredErr() error        { return nil }
+
+func (st *countState) emit(dst *batch.ColBatch, outCols []int, pos int) int {
+	if pos > 0 {
+		return 0
+	}
+	dst.SetLen(1)
+	for _, c := range outCols {
+		dst.Col(c)[0] = st.n
+	}
+	return 1
+}
+
+// colLimitIter truncates its child's live-row stream to rows
+// [offset, offset+limit). It is pure selection arithmetic: a batch's
+// selection vector is sliced (or synthesized from the reusable selection
+// buffer) and no row data moves. The child is drained to exhaustion even
+// after the limit is reached, so every operator's observed cardinality is
+// identical across executors and worker counts — annotated-plan fidelity is
+// the engine's contract, and a short-circuiting LIMIT would make upstream
+// OutRows depend on batch size and execution mode.
+type colLimitIter struct {
+	child         colIterator
+	limit, offset int64
+	node          *ExecNode
+
+	seen    int64 // live child rows seen so far
+	emitted int64 // rows passed downstream so far
+}
+
+func (l *colLimitIter) Next(dst *batch.ColBatch) bool {
+	for {
+		if !l.child.Next(dst) {
+			return false
+		}
+		live := int64(dst.Live())
+		start := int64(0)
+		if l.seen < l.offset {
+			start = l.offset - l.seen
+			if start > live {
+				start = live
+			}
+		}
+		take := live - start
+		if rem := l.limit - l.emitted; take > rem {
+			take = rem
+		}
+		l.seen += live
+		if take <= 0 {
+			continue // keep draining for mode-invariant upstream counts
+		}
+		end := start + take
+		if start > 0 || end < live {
+			if sel := dst.Sel(); sel != nil {
+				dst.SetSel(sel[start:end])
+			} else {
+				buf := dst.SelBuf()
+				for r := start; r < end; r++ {
+					buf = append(buf, int32(r))
+				}
+				dst.SetSel(buf)
+			}
+		}
+		l.emitted += take
+		l.node.OutRows += take
+		return true
+	}
+}
+
+func (l *colLimitIter) rewind(db *Database) error {
+	l.seen = 0
+	l.emitted = 0
+	l.node.OutRows = 0
+	return l.child.rewind(db)
+}
+
+func (l *colLimitIter) deferredErr() error { return l.child.deferredErr() }

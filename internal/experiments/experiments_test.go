@@ -131,3 +131,29 @@ func TestE12Projection(t *testing.T) {
 		}
 	}
 }
+
+func TestE13GroupBy(t *testing.T) {
+	var sb strings.Builder
+	if err := E13GroupBy(&sb, smallConfig(), []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "grouped answers identical to the row-at-a-time reference at every point") {
+		t.Errorf("E13 output missing identity line:\n%s", sb.String())
+	}
+}
+
+func TestE14TopK(t *testing.T) {
+	var sb strings.Builder
+	if err := E14TopK(&sb, smallConfig(), []int{10, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "sorted output identical to the row-pivot reference at every point") {
+		t.Errorf("E14 output missing identity line:\n%s", out)
+	}
+	for _, variant := range []string{"full sort", "top-10", "top-1"} {
+		if !strings.Contains(out, variant) {
+			t.Errorf("E14 output missing %q variant:\n%s", variant, out)
+		}
+	}
+}

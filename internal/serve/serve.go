@@ -18,6 +18,9 @@
 //	                "batch_size": 512, "parallelism": 4} →
 //	               {"count", "rows", "sample", "plan", "cache", "elapsed_ns", ...}
 //	GET  /healthz  {"status": "ok", "tables": N, "cache": {...}, ...}
+//	GET  /statsz   {"cache": {...}, "last_query": {"sql", "cache",
+//	               "elapsed_ns", "plan"}} — plan-cache effectiveness plus the
+//	               last query's per-operator ExecNode counters
 //
 // The handler is safe for concurrent use: the underlying dataless
 // database is read-only after construction, every request opens fresh
@@ -31,6 +34,7 @@ import (
 	"mime"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -68,6 +72,9 @@ type Server struct {
 	db    *engine.Database
 	opts  Options
 	cache *planCache
+
+	mu   sync.Mutex
+	last *LastQueryStats // most recently completed query, for GET /statsz
 }
 
 // New builds a server over the summary.
@@ -89,12 +96,13 @@ func (s *Server) InvalidateCache() { s.cache.invalidate() }
 // CacheStats snapshots plan-cache effectiveness.
 func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
 
-// Handler returns the HTTP handler exposing the query and health
+// Handler returns the HTTP handler exposing the query, health, and stats
 // endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/statsz", s.handleStats)
 	return mux
 }
 
@@ -131,6 +139,38 @@ type HealthResponse struct {
 	Tables      int        `json:"tables"`
 	Parallelism int        `json:"parallelism"`
 	Cache       CacheStats `json:"cache"`
+}
+
+// StatsResponse is the GET /statsz reply: plan/build-cache effectiveness
+// plus the per-operator ExecNode counters of the most recently completed
+// query.
+type StatsResponse struct {
+	Cache     CacheStats      `json:"cache"`
+	LastQuery *LastQueryStats `json:"last_query,omitempty"`
+}
+
+// LastQueryStats snapshots the last query the server executed
+// successfully: its SQL, how the cache served it, timing, and the
+// cardinality-annotated operator tree (per-operator OutRows counters).
+type LastQueryStats struct {
+	SQL       string           `json:"sql"`
+	Cache     string           `json:"cache,omitempty"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+	Plan      *engine.ExecNode `json:"plan"`
+}
+
+// handleStats serves GET /statsz with the same 405 + Allow pinning as the
+// other routes.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	s.mu.Lock()
+	last := s.last
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{Cache: s.cache.stats(), LastQuery: last})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -217,6 +257,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	elapsed := time.Since(start)
+	// Each execution materializes a fresh annotated tree (cached builds are
+	// cloned per execution), so retaining the pointer for /statsz is safe.
+	s.mu.Lock()
+	s.last = &LastQueryStats{SQL: req.SQL, Cache: cacheState, ElapsedNS: elapsed.Nanoseconds(), Plan: res.Root}
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, QueryResponse{
 		SQL:         req.SQL,
 		Count:       res.Count,
@@ -226,7 +272,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Parallelism: opts.Parallelism,
 		BatchSize:   opts.BatchSize,
 		Cache:       cacheState,
-		ElapsedNS:   time.Since(start).Nanoseconds(),
+		ElapsedNS:   elapsed.Nanoseconds(),
 	})
 }
 

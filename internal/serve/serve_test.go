@@ -233,6 +233,9 @@ func TestServeMethodNotAllowed(t *testing.T) {
 		{http.MethodDelete, "/query", "POST"},
 		{http.MethodHead, "/query", "POST"},
 		{http.MethodPost, "/healthz", "GET"},
+		{http.MethodPost, "/statsz", "GET"},
+		{http.MethodPut, "/statsz", "GET"},
+		{http.MethodDelete, "/statsz", "GET"},
 	} {
 		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
 		if err != nil {
@@ -664,6 +667,112 @@ func TestServeGroupedQuery(t *testing.T) {
 		}
 		if !reflect.DeepEqual(qr2.Sample, qr.Sample) {
 			t.Fatalf("%s: cached rows drifted: %v vs %v", sql, qr2.Sample, qr.Sample)
+		}
+	}
+}
+
+// getStats fetches and decodes GET /statsz.
+func getStats(t *testing.T, url string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /statsz = %d, want 200", resp.StatusCode)
+	}
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestServeStatsz pins GET /statsz: cache counters mirror CacheStats, and
+// last_query carries the most recent query's SQL, cache disposition, and
+// per-operator ExecNode counters.
+func TestServeStatsz(t *testing.T) {
+	sum := buildToySummary(t)
+	srv := New(sum, Options{SampleLimit: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Before any query: cache empty, no last_query.
+	sr := getStats(t, ts.URL)
+	if sr.LastQuery != nil || sr.Cache.Hits != 0 || sr.Cache.Misses != 0 {
+		t.Fatalf("fresh statsz = %+v", sr)
+	}
+
+	sql := toy.Workload()[1]
+	want := seqCount(t, sum, sql)
+	if resp, _ := postQuery(t, ts.URL, sql); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	sr = getStats(t, ts.URL)
+	if sr.LastQuery == nil || sr.LastQuery.SQL != sql || sr.LastQuery.Cache != "miss" {
+		t.Fatalf("statsz after miss = %+v", sr.LastQuery)
+	}
+	if sr.LastQuery.Plan == nil || sr.LastQuery.Plan.OutRows != want.Root.OutRows {
+		t.Fatalf("statsz plan = %+v, want root out_rows %d", sr.LastQuery.Plan, want.Root.OutRows)
+	}
+	if sr.LastQuery.ElapsedNS <= 0 {
+		t.Fatalf("statsz elapsed = %d", sr.LastQuery.ElapsedNS)
+	}
+	if sr.Cache != srv.CacheStats() {
+		t.Fatalf("statsz cache = %+v, want %+v", sr.Cache, srv.CacheStats())
+	}
+
+	// A repeat is a hit, and last_query follows it.
+	if resp, _ := postQuery(t, ts.URL, sql); resp.StatusCode != http.StatusOK {
+		t.Fatal("repeat failed")
+	}
+	sr = getStats(t, ts.URL)
+	if sr.LastQuery.Cache != "hit" || sr.Cache.Hits != 1 || sr.Cache.Misses != 1 {
+		t.Fatalf("statsz after hit = %+v %+v", sr.LastQuery, sr.Cache)
+	}
+
+	// A failed query leaves last_query untouched.
+	if resp, _ := postQuery(t, ts.URL, "SELECT nope FROM nowhere"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("bad query not rejected")
+	}
+	if sr = getStats(t, ts.URL); sr.LastQuery.SQL != sql {
+		t.Fatalf("failed query overwrote last_query: %+v", sr.LastQuery)
+	}
+}
+
+// TestServeSortLimitDistinct runs the ORDER BY / LIMIT / DISTINCT workload
+// through POST /query and holds rows, samples, and annotated plans to the
+// sequential in-process reference — the serve front end gets the new
+// clauses from the shared operator framework, not from serve-side code.
+func TestServeSortLimitDistinct(t *testing.T) {
+	sum := buildToySummary(t)
+	ts := httptest.NewServer(New(sum, Options{Parallelism: 2, SampleLimit: 4}).Handler())
+	defer ts.Close()
+
+	db := core.RegenDatabase(sum, 0)
+	for _, sql := range toy.SortWorkload() {
+		q, err := sqlkit.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := engine.BuildPlan(db.Schema, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.Execute(db, plan, engine.ExecOptions{SampleLimit: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, qr := postQuery(t, ts.URL, sql)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", sql, resp.StatusCode)
+		}
+		if qr.Rows != want.Rows || !reflect.DeepEqual(qr.Sample, want.Sample) {
+			t.Fatalf("%s: served %d %v, want %d %v", sql, qr.Rows, qr.Sample, want.Rows, want.Sample)
+		}
+		if qr.Plan == nil || qr.Plan.Op != want.Root.Op || qr.Plan.OutRows != want.Root.OutRows {
+			t.Fatalf("%s: served plan %+v, want %+v", sql, qr.Plan, want.Root)
 		}
 	}
 }

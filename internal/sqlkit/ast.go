@@ -162,6 +162,20 @@ func (a Aggregate) SQL() string {
 	return fmt.Sprintf("%s(%s)", a.Fn, a.Col)
 }
 
+// OrderItem is one ORDER BY key: the column and its direction.
+type OrderItem struct {
+	Col  ColumnRef
+	Desc bool
+}
+
+// SQL renders the key as SQL text (ASC, the default, is left implicit).
+func (o OrderItem) SQL() string {
+	if o.Desc {
+		return o.Col.String() + " DESC"
+	}
+	return o.Col.String()
+}
+
 // SelectItem is one entry of a grouped select list, in list order: either a
 // grouping column or an aggregate.
 type SelectItem struct {
@@ -193,6 +207,19 @@ type Query struct {
 	Items   []SelectItem
 	GroupBy []ColumnRef
 
+	// Distinct is SELECT DISTINCT: the output is deduplicated over the
+	// selected columns. It cannot be combined with aggregates or GROUP BY.
+	Distinct bool
+
+	// OrderBy lists the ORDER BY keys in clause order; each must resolve to
+	// a column of the query output.
+	OrderBy []OrderItem
+
+	// Limit, when non-nil, caps the output at *Limit rows after skipping
+	// Offset rows (LIMIT n [OFFSET k]); both are non-negative.
+	Limit  *int64
+	Offset int64
+
 	Tables []string
 	Preds  []Predicate
 }
@@ -204,6 +231,9 @@ func (q *Query) Grouped() bool { return len(q.Items) > 0 }
 func (q *Query) SQL() string {
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
 	switch {
 	case q.CountStar:
 		sb.WriteString("COUNT(*)")
@@ -239,6 +269,20 @@ func (q *Query) SQL() string {
 			parts[i] = c.String()
 		}
 		sb.WriteString(strings.Join(parts, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		parts := make([]string, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			parts[i] = o.SQL()
+		}
+		sb.WriteString(strings.Join(parts, ", "))
+	}
+	if q.Limit != nil {
+		fmt.Fprintf(&sb, " LIMIT %d", *q.Limit)
+		if q.Offset > 0 {
+			fmt.Fprintf(&sb, " OFFSET %d", q.Offset)
+		}
 	}
 	return sb.String()
 }

@@ -10,9 +10,11 @@ import (
 
 // Parse parses one SPJ or grouped-aggregate query. The grammar is:
 //
-//	query  := SELECT ('*' | item (',' item)*)
+//	query  := SELECT [DISTINCT] ('*' | item (',' item)*)
 //	          FROM ident (',' ident)* [WHERE pred (AND pred)*]
-//	          [GROUP BY colref (',' colref)*] [';']
+//	          [GROUP BY colref (',' colref)*]
+//	          [ORDER BY colref [ASC|DESC] (',' colref [ASC|DESC])*]
+//	          [LIMIT number [OFFSET number]] [';']
 //	item   := colref | COUNT '(' '*' ')' | fn '(' colref ')'
 //	fn     := COUNT | SUM | MIN | MAX | AVG
 //	pred   := colref op literal | literal op colref
@@ -25,7 +27,9 @@ import (
 // A select list that is only plain columns (no GROUP BY) parses to the
 // legacy Columns form, and a lone COUNT(*) without GROUP BY to CountStar;
 // every other combination of aggregates and grouping keys parses to the
-// grouped form (Items + GroupBy).
+// grouped form (Items + GroupBy). DISTINCT deduplicates over the selected
+// columns and cannot be combined with aggregates or GROUP BY; LIMIT and
+// OFFSET take non-negative integer literals.
 func Parse(src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -136,6 +140,41 @@ func (p *parser) parseQuery() (*Query, error) {
 			}
 		}
 	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			cr, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: cr}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		n, err := p.parseBound("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = &n
+		if p.acceptKeyword("offset") {
+			k, err := p.parseBound("OFFSET")
+			if err != nil {
+				return nil, err
+			}
+			q.Offset = k
+		}
+	}
 	p.acceptSymbol(";")
 	if t := p.cur(); t.kind != tokEOF {
 		return nil, fmt.Errorf("sqlkit: trailing input at %s", t)
@@ -163,6 +202,9 @@ func (q *Query) normalizeSelect() error {
 			break
 		}
 	}
+	if q.Distinct && (hasAgg || len(q.GroupBy) > 0) {
+		return fmt.Errorf("sqlkit: DISTINCT cannot be combined with aggregates or GROUP BY")
+	}
 	if !hasAgg && len(q.GroupBy) == 0 {
 		q.Columns = make([]ColumnRef, len(q.Items))
 		for i, it := range q.Items {
@@ -179,7 +221,27 @@ func (q *Query) normalizeSelect() error {
 	return nil
 }
 
+// parseBound parses a LIMIT or OFFSET operand: a non-negative integer
+// literal.
+func (p *parser) parseBound(clause string) (int64, error) {
+	t := p.next()
+	if t.kind != tokNumber || strings.Contains(t.text, ".") {
+		return 0, fmt.Errorf("sqlkit: %s expects an integer, got %s", clause, t)
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sqlkit: bad %s %q: %v", clause, t.text, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("sqlkit: %s must be non-negative, got %d", clause, n)
+	}
+	return n, nil
+}
+
 func (p *parser) parseSelectList(q *Query) error {
+	if p.acceptKeyword("distinct") {
+		q.Distinct = true
+	}
 	if p.acceptSymbol("*") {
 		q.Star = true
 		return nil

@@ -288,3 +288,78 @@ func TestParseAggNamedColumn(t *testing.T) {
 		t.Errorf("columns = %+v", q.Columns)
 	}
 }
+
+func TestParseOrderBy(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM r ORDER BY r.x DESC, y ASC, z")
+	if len(q.OrderBy) != 3 {
+		t.Fatalf("order by = %+v", q.OrderBy)
+	}
+	if q.OrderBy[0].Col.String() != "r.x" || !q.OrderBy[0].Desc {
+		t.Errorf("key 0 = %+v", q.OrderBy[0])
+	}
+	if q.OrderBy[1].Col.Column != "y" || q.OrderBy[1].Desc {
+		t.Errorf("key 1 = %+v", q.OrderBy[1])
+	}
+	if q.OrderBy[2].Col.Column != "z" || q.OrderBy[2].Desc {
+		t.Errorf("key 2 = %+v", q.OrderBy[2])
+	}
+}
+
+func TestParseLimitOffset(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM r LIMIT 10 OFFSET 3")
+	if q.Limit == nil || *q.Limit != 10 || q.Offset != 3 {
+		t.Fatalf("limit/offset = %v/%d", q.Limit, q.Offset)
+	}
+	q = mustParse(t, "select a from r limit 0;")
+	if q.Limit == nil || *q.Limit != 0 || q.Offset != 0 {
+		t.Fatalf("limit 0 = %v/%d", q.Limit, q.Offset)
+	}
+	if q := mustParse(t, "SELECT * FROM r"); q.Limit != nil {
+		t.Fatalf("absent LIMIT parsed as %v", *q.Limit)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q := mustParse(t, "SELECT DISTINCT a, r.b FROM r")
+	if !q.Distinct || len(q.Columns) != 2 {
+		t.Fatalf("got %+v", q)
+	}
+	q = mustParse(t, "SELECT DISTINCT * FROM r")
+	if !q.Distinct || !q.Star {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestParseOrderLimitDistinctErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT * FROM r ORDER BY",            // missing key
+		"SELECT * FROM r ORDER x",             // missing BY
+		"SELECT * FROM r LIMIT",               // missing bound
+		"SELECT * FROM r LIMIT x",             // non-numeric
+		"SELECT * FROM r LIMIT 1.5",           // non-integer
+		"SELECT * FROM r LIMIT -1",            // negative
+		"SELECT * FROM r LIMIT 5 OFFSET -2",   // negative offset
+		"SELECT * FROM r OFFSET 2",            // OFFSET without LIMIT
+		"SELECT DISTINCT COUNT(*) FROM r",     // DISTINCT over aggregate
+		"SELECT DISTINCT a FROM r GROUP BY a", // DISTINCT with GROUP BY
+		"SELECT * FROM r LIMIT 1 ORDER BY a",  // clause order fixed
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestParseSortLimitSQLRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT DISTINCT a, r.b FROM r WHERE a >= 3 ORDER BY r.b DESC, a LIMIT 10 OFFSET 2",
+		"SELECT * FROM r ORDER BY a LIMIT 5",
+		"SELECT x, COUNT(*) FROM r GROUP BY x ORDER BY x DESC LIMIT 3",
+	} {
+		q := mustParse(t, sql)
+		q2 := mustParse(t, q.SQL())
+		if q.SQL() != q2.SQL() {
+			t.Errorf("round trip drifted:\n first %s\nsecond %s", q.SQL(), q2.SQL())
+		}
+	}
+}

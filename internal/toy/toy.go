@@ -116,3 +116,27 @@ func GroupWorkload() []string {
 		"SELECT s.a, s.b, COUNT(*) FROM s WHERE s.a < 5 GROUP BY s.a, s.b",
 	}
 }
+
+// SortWorkload returns ORDER BY / LIMIT / DISTINCT queries over the toy
+// schema for the sink-operator parity and serve suites: full sorts, top-K
+// (LIMIT bounding ORDER BY), limits landing mid-batch, OFFSET past the end,
+// LIMIT 0, DISTINCT over one and several columns, and compositions with
+// GROUP BY. Like GroupWorkload, they regenerate from summaries built from
+// Workload and are not part of the captured AQP workload.
+func SortWorkload() []string {
+	return []string{
+		"SELECT * FROM s ORDER BY s.b DESC",
+		"SELECT * FROM s WHERE s.a < 60 ORDER BY s.a, s.b DESC",
+		"SELECT * FROM s ORDER BY s.b DESC LIMIT 7 OFFSET 2",
+		"SELECT * FROM r, s WHERE r.s_fk = s.s_pk AND s.a >= 20 ORDER BY s.b DESC LIMIT 10",
+		"SELECT * FROM s LIMIT 7",
+		"SELECT * FROM s LIMIT 7 OFFSET 496",   // limit lands past a partial tail
+		"SELECT * FROM s LIMIT 5 OFFSET 10000", // offset past end
+		"SELECT * FROM s LIMIT 0",
+		"SELECT COUNT(*) FROM s WHERE s.a >= 20 LIMIT 1",
+		"SELECT DISTINCT t.c FROM t",
+		"SELECT DISTINCT s.a FROM r, s WHERE r.s_fk = s.s_pk AND s.a < 30",
+		"SELECT DISTINCT t.c FROM t ORDER BY t.c DESC LIMIT 3",
+		"SELECT t.c, COUNT(*) FROM t GROUP BY t.c ORDER BY t.c DESC LIMIT 4 OFFSET 1",
+	}
+}

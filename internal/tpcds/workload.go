@@ -71,6 +71,29 @@ func GroupWorkload() []string {
 	}
 }
 
+// SortWorkload returns ORDER BY / LIMIT / DISTINCT queries over the
+// warehouse for the sink-operator parity suites: full sorts with ties (low-
+// cardinality keys exercise the full-row tiebreak), top-K under joins,
+// limits landing mid-batch, OFFSET past the end, DISTINCT over foreign-key
+// and string-coded columns, and compositions with GROUP BY. Like
+// GroupWorkload, they regenerate from summaries built from Workload and are
+// not part of the captured AQP workload.
+func SortWorkload() []string {
+	return []string{
+		"SELECT * FROM store_sales ORDER BY ss_quantity DESC LIMIT 20",
+		"SELECT * FROM store_sales WHERE ss_quantity < 40 ORDER BY ss_sales_price, ss_quantity DESC LIMIT 15 OFFSET 5",
+		"SELECT * FROM store_sales, item WHERE ss_item_sk = i_item_sk AND i_manager_id < 40 ORDER BY ss_quantity DESC LIMIT 10",
+		"SELECT * FROM item ORDER BY i_manager_id",
+		"SELECT * FROM store_sales LIMIT 13 OFFSET 7",
+		"SELECT * FROM store_sales LIMIT 5 OFFSET 100000000", // offset past end
+		"SELECT * FROM store_sales LIMIT 0",
+		"SELECT DISTINCT ss_store_sk FROM store_sales",
+		"SELECT DISTINCT i_category FROM item ORDER BY i_category DESC",
+		"SELECT DISTINCT ss_store_sk, ss_promo_sk FROM store_sales ORDER BY ss_promo_sk DESC, ss_store_sk LIMIT 12",
+		"SELECT ss_store_sk, COUNT(*), SUM(ss_quantity) FROM store_sales GROUP BY ss_store_sk ORDER BY ss_store_sk DESC LIMIT 5 OFFSET 2",
+	}
+}
+
 // Discrete parameter grids (the "bind variables" of the query templates).
 var (
 	quantityCuts  = []int{20, 40, 60, 80}

@@ -52,9 +52,11 @@ func TestParallelParityToyWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Grouped aggregation runs per-worker partial aggregates merged
-	// deterministically; parity at every worker count pins that.
-	checkParallelParity(t, pkg, append(toy.Workload(), toy.GroupWorkload()...))
+	// Grouped aggregation, ORDER BY, LIMIT, and DISTINCT all run per-worker
+	// partial states merged deterministically; parity at every worker count
+	// pins that.
+	queries := append(toy.Workload(), toy.GroupWorkload()...)
+	checkParallelParity(t, pkg, append(queries, toy.SortWorkload()...))
 }
 
 func TestParallelParityTPCDSWorkload(t *testing.T) {
@@ -71,7 +73,8 @@ func TestParallelParityTPCDSWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkParallelParity(t, pkg, append(queries, tpcds.GroupWorkload()...))
+	extra := append(tpcds.GroupWorkload(), tpcds.SortWorkload()...)
+	checkParallelParity(t, pkg, append(queries, extra...))
 }
 
 // TestParallelParityVelocityFallback pins the paced-stream fallback: a

@@ -37,7 +37,8 @@ func toySummary(t *testing.T) *Summary {
 func TestExecuteInDatalessParity(t *testing.T) {
 	sum := toySummary(t)
 	db := core.RegenDatabase(sum, 0)
-	for _, sql := range append(toy.Workload(), toy.GroupWorkload()...) {
+	queries := append(toy.Workload(), toy.GroupWorkload()...)
+	for _, sql := range append(queries, toy.SortWorkload()...) {
 		want, err := Query(db, sql, ExecOptions{SampleLimit: 4})
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
@@ -134,5 +135,45 @@ func TestSteadyStateZeroAllocGroupBy(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state grouped query allocates %.2f objects per query, want 0", allocs)
+	}
+}
+
+// TestSteadyStateZeroAllocOrderBy extends the zero-allocation audit to the
+// sort pipeline: after warmup, repeated ExecuteIn of ORDER BY + LIMIT
+// (top-K) and unbounded ORDER BY queries recycle the sort state — arenas,
+// order permutation, top-K heap, selection buffers — and allocate nothing.
+func TestSteadyStateZeroAllocOrderBy(t *testing.T) {
+	sum := toySummary(t)
+	db := core.RegenDatabase(sum, 0)
+	for _, sql := range []string{
+		"SELECT * FROM s WHERE s.a < 60 ORDER BY s.b DESC LIMIT 10 OFFSET 2",
+		"SELECT * FROM s ORDER BY s.b DESC",
+		"SELECT DISTINCT t.c FROM t ORDER BY t.c DESC LIMIT 3",
+	} {
+		prep, err := Prepare(db, sql, ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		var st engine.ExecState
+		res, err := prep.ExecuteIn(&st, ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		want := res.Rows
+		if want == 0 {
+			t.Fatalf("%s: steady-state query produced no rows", sql)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			res, err := prep.ExecuteIn(&st, ExecOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rows != want {
+				t.Fatalf("rows drifted: %d, want %d", res.Rows, want)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: steady state allocates %.2f objects per query, want 0", sql, allocs)
+		}
 	}
 }
