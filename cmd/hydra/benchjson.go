@@ -1,17 +1,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/generator"
+	"repro/internal/loadtest"
+	"repro/internal/serve"
 	"repro/internal/sqlkit"
 	"repro/internal/summary"
 	"repro/internal/tpcds"
@@ -27,6 +34,9 @@ type BenchRow struct {
 	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Value carries a dimensionless measurement (shed rate, throughput)
+	// for rows that are not per-op timings.
+	Value float64 `json:"value,omitempty"`
 }
 
 func row(name string, r testing.BenchmarkResult, rowsPerOp float64) BenchRow {
@@ -336,6 +346,27 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 		rows = append(rows, row(fmt.Sprintf("parallel_generate_w%d", workers), r, 1))
 	}
 
+	// Cancellation responsiveness: how long a mid-flight cancel takes to
+	// unwind the full-scan query — the engine's batch-boundary contract
+	// made a number. Measured as (return time − cancel time), mean over
+	// repeated runs; the acceptance bar is two orders of magnitude above
+	// typical, so noise cannot flake it.
+	cancelRow, err := queryCancelRow(sum, plan)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, cancelRow)
+
+	// Overload behavior of the serve front end, measured through the real
+	// HTTP stack: an in-process server with a tight admission bound, driven
+	// closed-loop far above capacity by the loadtest harness. Admitted
+	// latency percentiles and the shed rate become trajectory rows.
+	ltRows, err := loadtestRows(sum)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, ltRows...)
+
 	enc := json.NewEncoder(w)
 	for _, r := range rows {
 		if err := enc.Encode(r); err != nil {
@@ -343,6 +374,112 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 		}
 	}
 	return nil
+}
+
+// queryCancelRow measures cancellation latency: a full-scan dataless query
+// is launched, canceled shortly after it starts, and timed from cancel to
+// return. Emitted as query_cancel_latency (ns_per_op = mean unwind time).
+//
+// The query runs against a velocity-throttled regeneration (~25ms nominal
+// scan time, whatever the scale factor): an unthrottled dataless scan at
+// small -sf finishes in a few hundred microseconds, before the cancel
+// lands, and the row would measure nothing.
+func queryCancelRow(sum *summary.Database, plan *engine.Plan) (BenchRow, error) {
+	rate := float64(planInputRows(sum, plan)) * 40 // rows per sec → ~25ms/scan
+	if rate < 40_000 {
+		rate = 40_000
+	}
+	regen := core.RegenDatabase(sum, rate)
+	const iters = 10
+	var total time.Duration
+	var landed int
+	for i := 0; i < iters; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		var unwound time.Time
+		go func() {
+			_, err := engine.ExecuteContext(ctx, regen, plan, engine.ExecOptions{})
+			unwound = time.Now()
+			done <- err
+		}()
+		time.Sleep(500 * time.Microsecond) // let the scan get going
+		canceledAt := time.Now()
+		cancel()
+		err := <-done
+		if err == nil {
+			// The query finished before the cancel landed; count it as an
+			// instant unwind (the engine had nothing left to stop).
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return BenchRow{}, fmt.Errorf("bench: canceled query returned %v, want context.Canceled", err)
+		}
+		landed++
+		if d := unwound.Sub(canceledAt); d > 0 {
+			total += d
+		}
+	}
+	if landed == 0 {
+		return BenchRow{}, fmt.Errorf("bench: no cancel landed mid-query in %d runs — the throttled scan is too fast to measure", iters)
+	}
+	return BenchRow{Name: "query_cancel_latency", Iters: landed, NsPerOp: float64(total.Nanoseconds()) / float64(landed)}, nil
+}
+
+// loadtestRows boots an in-process serve front end with a deliberately
+// tight admission bound and drives it closed-loop at several times its
+// capacity for a short burst. The resulting loadtest_* rows pin the
+// overload contract in the benchmark trajectory: admitted work stays fast
+// while excess load is shed with quick 429s.
+func loadtestRows(sum *summary.Database) ([]BenchRow, error) {
+	// Velocity-throttle regeneration to ~5ms per admitted query: capacity
+	// is then rate-bound (2 slots / 5ms ≈ 400 qps) instead of CPU-bound,
+	// so 16 closed-loop clients genuinely overload admission — even on a
+	// 1-core runner, where unthrottled microsecond handlers would
+	// serialize on the scheduler and the queue would never fill.
+	var rate float64 = 2_000_000
+	if rel := sum.Relations["store_sales"]; rel != nil {
+		rate = float64(rel.Total) * 200
+	}
+	srv := serve.New(sum, serve.Options{
+		RowsPerSec:  rate,
+		MaxInFlight: 2,
+		MaxQueue:    2,
+		QueueWait:   2 * time.Millisecond,
+		MaxTimeout:  5 * time.Second,
+		Logf:        func(string, ...any) {},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	res, err := loadtest.Run(context.Background(), loadtest.Options{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Queries:     []string{"SELECT COUNT(*) FROM store_sales WHERE ss_quantity >= 50"},
+		Concurrency: 16, // 8x the in-flight bound: guaranteed overload
+		Duration:    time.Second,
+		Seed:        1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if bad := res.Other + res.Unavailable + res.Timeout + res.TransportErrors; bad != 0 {
+		return nil, fmt.Errorf("bench: loadtest saw %d non-{200,429} responses (status %v, transport %d)",
+			bad, res.Status, res.TransportErrors)
+	}
+	if res.Shed == 0 {
+		return nil, fmt.Errorf("bench: overload burst shed nothing (%d sent, %d ok) — admission control is not engaging", res.Sent, res.OK)
+	}
+	return []BenchRow{
+		{Name: "loadtest_admitted_p50", Iters: res.Admitted.Count, NsPerOp: float64(res.Admitted.P50.Nanoseconds())},
+		{Name: "loadtest_admitted_p99", Iters: res.Admitted.Count, NsPerOp: float64(res.Admitted.P99.Nanoseconds())},
+		{Name: "loadtest_shed_p99", Iters: res.ShedLatency.Count, NsPerOp: float64(res.ShedLatency.P99.Nanoseconds())},
+		{Name: "loadtest_shed_rate", Iters: res.Sent, Value: res.ShedRate()},
+		{Name: "loadtest_throughput_qps", Iters: res.OK, Value: res.Throughput},
+	}, nil
 }
 
 // steadySinkRow measures the steady-state ExecuteIn path of one sink query

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/loadtest"
+)
+
+// defaultLoadtestMix is the query mix used when -sql is not given: the
+// hottest shape first (zipfian skew lands most traffic there), covering
+// the scan→filter→count fast path, a fact-dimension join, and a grouped
+// aggregate — the three plan families the serve cache distinguishes. It
+// matches the default tpcds capture the other commands produce.
+var defaultLoadtestMix = []string{
+	"SELECT COUNT(*) FROM store_sales WHERE ss_quantity >= 50",
+	"SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk AND i_category = 'Music'",
+	"SELECT ss_store_sk, COUNT(*) FROM store_sales GROUP BY ss_store_sk",
+}
+
+// cmdLoadtest drives a running hydra serve instance with a zipfian query
+// mix — closed loop by default, open loop with -rate — and reports
+// admitted-latency percentiles, shed rate, and throughput. The harness
+// behind the E15 overload experiment and the CI loadtest smoke.
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8372", "base URL of the server under test")
+	clients := fs.Int("clients", 8, "concurrent clients (closed loop) / in-flight cap (open loop)")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate in requests/sec (0 = closed loop)")
+	dur := fs.Duration("duration", 5*time.Second, "how long to drive load")
+	timeoutMS := fs.Int64("timeout-ms", 0, "per-query timeout_ms sent with each request (0 = none)")
+	zipfS := fs.Float64("zipf", 1.5, "zipf skew of the query mix (<= 1 = uniform)")
+	par := fs.Int("parallelism", -1, "per-query parallelism override (-1 = server default)")
+	sqlMix := fs.String("sql", "", "semicolon-separated query mix (default: built-in store_sales mix)")
+	seed := fs.Int64("seed", 1, "mix seed")
+	asJSON := fs.Bool("json", false, "emit the result as one JSON object")
+	fs.Parse(args)
+
+	queries := defaultLoadtestMix
+	if *sqlMix != "" {
+		queries = nil
+		for _, q := range strings.Split(*sqlMix, ";") {
+			if q = strings.TrimSpace(q); q != "" {
+				queries = append(queries, q)
+			}
+		}
+	}
+	opts := loadtest.Options{
+		BaseURL:     strings.TrimRight(*url, "/"),
+		Queries:     queries,
+		ZipfS:       *zipfS,
+		Concurrency: *clients,
+		Rate:        *rate,
+		Duration:    *dur,
+		TimeoutMS:   *timeoutMS,
+		Seed:        *seed,
+	}
+	if *par >= 0 {
+		opts.Parallelism = par
+	}
+	res, err := loadtest.Run(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return json.NewEncoder(os.Stdout).Encode(res)
+	}
+	mode := "closed loop"
+	if *rate > 0 {
+		mode = fmt.Sprintf("open loop @ %.0f req/s", *rate)
+	}
+	fmt.Printf("loadtest %s: %d requests in %v (%s, %d clients, zipf %.2f over %d queries)\n",
+		opts.BaseURL, res.Sent, res.Elapsed.Round(time.Millisecond), mode, *clients, *zipfS, len(queries))
+	fmt.Printf("  admitted   %6d  (%.1f qps)  p50 %v  p90 %v  p99 %v  max %v\n",
+		res.OK, res.Throughput,
+		res.Admitted.P50.Round(time.Microsecond), res.Admitted.P90.Round(time.Microsecond),
+		res.Admitted.P99.Round(time.Microsecond), res.Admitted.Max.Round(time.Microsecond))
+	fmt.Printf("  shed (429) %6d  (%.1f%% of sent)  p99 %v\n",
+		res.Shed, 100*res.ShedRate(), res.ShedLatency.P99.Round(time.Microsecond))
+	if res.Timeout > 0 {
+		fmt.Printf("  timeout (504) %3d\n", res.Timeout)
+	}
+	if res.Unavailable > 0 {
+		fmt.Printf("  draining (503) %2d\n", res.Unavailable)
+	}
+	if res.Other > 0 || res.TransportErrors > 0 {
+		fmt.Printf("  other %d, transport errors %d\n", res.Other, res.TransportErrors)
+	}
+	return nil
+}

@@ -10,6 +10,8 @@
 //	hydra verify   -in pkg.json -summary summary.json [-worst 10]
 //	hydra scenario -in pkg.json -factor 1000 [-out scaled.json]
 //	hydra serve    -summary summary.json [-addr :8372] [-parallelism 8] [-rate 0]
+//	               [-max-inflight 16] [-queue 64] [-timeout 30s] [-drain 10s]
+//	hydra loadtest [-url http://127.0.0.1:8372] [-rate 500] [-clients 8] [-duration 5s]
 //	hydra bench    [-exp all|E1|…|E12] [-sf 1] [-queries 131] [-json]
 //
 // All artifacts are JSON; nothing touches a real database — the client
@@ -43,6 +45,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "help", "-h", "--help":
@@ -69,6 +73,7 @@ commands:
   scenario   scale a client package for what-if analysis and check feasibility
   stats      display a column's metadata (equi-depth histogram, top values)
   serve      serve concurrent SQL queries over HTTP from a loaded summary
+  loadtest   drive a running serve instance with a zipfian query mix
   bench      run the paper's experiments (E1..E11)
 
 run "hydra <command> -h" for command flags.

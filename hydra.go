@@ -17,6 +17,8 @@
 package hydra
 
 import (
+	"context"
+
 	"repro/internal/anonymize"
 	"repro/internal/aqp"
 	"repro/internal/batch"
@@ -170,6 +172,16 @@ func Verify(db *Database, workload []*AQP) (*Report, error) {
 // safe for concurrent Query calls because every execution opens fresh
 // scan state.
 func Query(db *Database, sql string, opts ExecOptions) (*ExecResult, error) {
+	return QueryContext(context.Background(), db, sql, opts)
+}
+
+// QueryContext is Query under a context: execution observes ctx (and
+// opts.Timeout, whichever deadline is earlier) cooperatively at batch
+// boundaries on every path — sequential, parallel, and inside hash-join
+// build drains — and returns ctx's error (context.Canceled or
+// context.DeadlineExceeded) once it stops. Cancellation never leaks a
+// goroutine: parallel workers drain cleanly and are always waited for.
+func QueryContext(ctx context.Context, db *Database, sql string, opts ExecOptions) (*ExecResult, error) {
 	q, err := sqlkit.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -178,7 +190,7 @@ func Query(db *Database, sql string, opts ExecOptions) (*ExecResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.Execute(db, plan, opts)
+	return engine.ExecuteContext(ctx, db, plan, opts)
 }
 
 // Prepare parses, plans, and readies one SQL query for repeated execution

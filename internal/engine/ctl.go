@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// Cooperative cancellation. Every execution front — Execute, ExecuteRows,
+// ExecuteParallel, Prepared.Execute, Prepared.ExecuteIn — now has a
+// context-taking variant, and the ctx-free signatures are thin wrappers
+// over context.Background(). Cancellation is cooperative at batch
+// boundaries: the engine never preempts a kernel mid-batch (a batch is at
+// most a few thousand rows, microseconds of work), it checks between
+// batches and unwinds.
+//
+// The checks live in exactly three places, chosen so every unbounded loop
+// in the engine passes through at least one of them:
+//
+//   - colScanIter.Next — the leaf every operator ultimately pulls from.
+//     One check per physical batch covers the filter's skip loop, the
+//     sink and COUNT(*) drain loops, hash-join build drains, and the join
+//     probe's pull loop, because all of them advance only by pulling scan
+//     batches.
+//   - the root drive loop (runColumnar and the ExecuteRows pivot) — covers
+//     the emit phase of blocking sinks, whose output streaming pulls no
+//     scan batches.
+//   - the parallel worker's morsel loop — each worker carries its own
+//     execCtl (latching is single-goroutine state), re-checked per morsel
+//     and, through the worker's scan leaf, per batch.
+//
+// The state is an execCtl struct threaded through the operator tree as a
+// field at open time — never a per-batch closure — so the steady-state
+// reuse path (Prepared.ExecuteIn) keeps its zero-allocation contract: the
+// ExecState owns one execCtl for its lifetime and rebinding it to the next
+// call's context writes two words.
+
+// execCtl carries one execution's cancellation state. It is single-
+// goroutine by construction: the sequential tree shares one, each parallel
+// worker owns one. A nil ctx never stops (the Prepare-time build drain and
+// ctx-free wrappers run uncancellable).
+type execCtl struct {
+	ctx context.Context
+	err error // first observed ctx error, latched for the execution
+}
+
+// bind points the control at the next execution's context, clearing any
+// error latched by a previous (canceled) execution on the same state.
+func (c *execCtl) bind(ctx context.Context) {
+	c.ctx = ctx
+	c.err = nil
+}
+
+// stopped reports whether the execution should halt, latching the context
+// error on first observation so every later check agrees without touching
+// the context again.
+func (c *execCtl) stopped() bool {
+	if c.err != nil {
+		return true
+	}
+	if c.ctx == nil {
+		return false
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.err = err
+		return true
+	}
+	return false
+}
+
+// withTimeout derives the execution deadline from ExecOptions.Timeout: a
+// positive timeout wraps ctx, anything else passes it through with a no-op
+// cancel so callers can defer unconditionally.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}

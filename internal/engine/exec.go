@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/batch"
 )
@@ -46,6 +48,15 @@ type ExecOptions struct {
 	// Execute clamps it into [0, GOMAXPROCS]; ExecuteParallel honors it
 	// verbatim so tests can oversubscribe.
 	Parallelism int
+	// Timeout bounds the execution's wall clock when positive: the
+	// context-taking entry points derive a deadline from it (stacked on
+	// whatever deadline the caller's context already carries — the
+	// earlier one wins) and the query fails with context.DeadlineExceeded
+	// at the next batch boundary after it expires. Zero means no
+	// engine-imposed deadline; negative is rejected by Normalize. The
+	// ctx-free wrappers honor it too, so a plain Execute with a Timeout
+	// is self-limiting.
+	Timeout time.Duration
 }
 
 // ErrInvalidOptions tags ExecOptions validation failures; test with
@@ -56,6 +67,9 @@ var ErrInvalidOptions = errors.New("invalid exec options")
 func (o ExecOptions) validate() error {
 	if o.BatchSize < 0 {
 		return fmt.Errorf("engine: %w: BatchSize %d is negative", ErrInvalidOptions, o.BatchSize)
+	}
+	if o.Timeout < 0 {
+		return fmt.Errorf("engine: %w: Timeout %v is negative", ErrInvalidOptions, o.Timeout)
 	}
 	return nil
 }
@@ -83,16 +97,27 @@ func (o ExecOptions) Normalize() (ExecOptions, error) {
 // opts.Parallelism >= 1 it is also morsel-parallel (see exec_parallel.go),
 // with results byte-identical to the sequential path. ExecuteRows is the
 // row-pivot reference front over the same operators and produces identical
-// results.
+// results. Execute is ExecuteContext over context.Background().
 func Execute(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
+	return ExecuteContext(context.Background(), db, plan, opts)
+}
+
+// ExecuteContext is Execute under a context: cancellation (and
+// opts.Timeout, stacked onto any deadline ctx already carries) is observed
+// cooperatively at batch boundaries, and a stopped query returns
+// context.Canceled or context.DeadlineExceeded — identically on the
+// sequential and parallel paths, with no goroutine left behind.
+func ExecuteContext(ctx context.Context, db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
 	if opts.Parallelism >= 1 {
-		return ExecuteParallel(db, plan, opts)
+		return executeParallelFrom(ctx, db, plan, opts, nil)
 	}
-	return executeColumnar(db, plan, opts)
+	return executeColumnarFrom(ctx, db, plan, opts, nil, nil)
 }
 
 // ExecuteRows runs a plan and surfaces its output one row at a time: a thin
@@ -103,10 +128,19 @@ func Execute(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
 // divergence between Execute, ExecuteParallel, or Prepared.ExecuteIn and
 // this path is a bug in batch driving, not in operator semantics.
 func ExecuteRows(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
+	return ExecuteRowsContext(context.Background(), db, plan, opts)
+}
+
+// ExecuteRowsContext is ExecuteRows under a context, with the same
+// batch-boundary cancellation contract as ExecuteContext.
+func ExecuteRowsContext(ctx context.Context, db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	it, width, pop, node, err := openCol(db, plan.Root, rowNeed(plan), opts.BatchSize, nil, nil)
+	ctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	ctl := &execCtl{ctx: ctx}
+	it, width, pop, node, err := openCol(db, plan.Root, rowNeed(plan), opts.BatchSize, nil, nil, ctl)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +148,7 @@ func ExecuteRows(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error
 	b := batch.NewCol(width, opts.BatchSize, pop)
 	row := make([]int64, width)
 	agg := plan.countStar()
-	for it.Next(b) {
+	for !ctl.stopped() && it.Next(b) {
 		live := b.Live()
 		for i := 0; i < live; i++ {
 			b.LiveRow(i, row)
@@ -128,6 +162,9 @@ func ExecuteRows(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error
 		}
 	}
 	node.OutRows = res.Rows
+	if ctl.err != nil {
+		return nil, ctl.err
+	}
 	if err := it.deferredErr(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/batch"
@@ -82,22 +83,23 @@ func cloneExecNode(n *ExecNode) *ExecNode {
 	return &out
 }
 
-// executeColumnar is the columnar implementation behind Execute.
-func executeColumnar(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
-	return executeColumnarFrom(db, plan, opts, nil, nil)
-}
-
-// executeColumnarFrom is executeColumnar with an optional pre-opened scan
-// and prepared join builds.
-func executeColumnarFrom(db *Database, plan *Plan, opts ExecOptions, ov *scanOverride, builds buildCache) (*ExecResult, error) {
+// executeColumnarFrom is the sequential columnar executor behind
+// ExecuteContext, with an optional pre-opened scan and prepared join
+// builds. ctx is observed at batch boundaries (see ctl.go); a canceled
+// execution returns the context's error.
+func executeColumnarFrom(ctx context.Context, db *Database, plan *Plan, opts ExecOptions, ov *scanOverride, builds buildCache) (*ExecResult, error) {
+	ctl := &execCtl{ctx: ctx}
 	need := rootNeed(plan, opts)
-	it, width, pop, node, err := openCol(db, plan.Root, need, opts.BatchSize, ov, builds)
+	it, width, pop, node, err := openCol(db, plan.Root, need, opts.BatchSize, ov, builds, ctl)
 	if err != nil {
 		return nil, err
 	}
 	res := &ExecResult{Root: node}
 	b := batch.NewCol(width, opts.BatchSize, pop)
-	runColumnar(it, b, plan, opts, res)
+	runColumnar(ctl, it, b, plan, opts, res)
+	if ctl.err != nil {
+		return nil, ctl.err
+	}
 	if err := it.deferredErr(); err != nil {
 		return nil, err
 	}
@@ -128,10 +130,13 @@ func allCols(n int) []int {
 }
 
 // runColumnar drives the opened operator tree to exhaustion, accumulating
-// rows, samples, and the COUNT value into res.
-func runColumnar(it colIterator, b *batch.ColBatch, plan *Plan, opts ExecOptions, res *ExecResult) {
+// rows, samples, and the COUNT value into res. The drive loop is one of
+// the engine's cancellation points: it stops pulling batches once ctl
+// observes the context done (covering sink emit phases, which pull no scan
+// batches); the caller surfaces ctl.err.
+func runColumnar(ctl *execCtl, it colIterator, b *batch.ColBatch, plan *Plan, opts ExecOptions, res *ExecResult) {
 	agg := plan.countStar()
-	for it.Next(b) {
+	for !ctl.stopped() && it.Next(b) {
 		live := b.Live()
 		res.Rows += int64(live)
 		if opts.SampleLimit > 0 {
@@ -162,8 +167,11 @@ func runColumnar(it colIterator, b *batch.ColBatch, plan *Plan, opts ExecOptions
 // parent must use to size its receiving batch. Like the row path,
 // hash-join build sides are consumed at open time — unless builds already
 // carries them, in which case the shared arena is probed directly and the
-// frozen build subtree is cloned into the plan annotation.
-func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverride, builds buildCache) (colIterator, int, []int, *ExecNode, error) {
+// frozen build subtree is cloned into the plan annotation. ctl is the
+// execution's cancellation control, threaded into every scan leaf (the
+// engine's per-batch check point); a build drain interrupted by
+// cancellation surfaces the context error here, as an open failure.
+func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverride, builds buildCache, ctl *execCtl) (colIterator, int, []int, *ExecNode, error) {
 	switch pn.Op {
 	case OpScan:
 		var src batch.Source
@@ -179,14 +187,14 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		}
 		node := &ExecNode{Op: pn.Op.String(), Table: pn.Table}
 		width := len(db.Schema.Table(pn.Table).Columns)
-		s := &colScanIter{table: pn.Table, src: src, proj: asProjector(src, width), cols: need, width: width, node: node}
+		s := &colScanIter{table: pn.Table, src: src, proj: asProjector(src, width), cols: need, width: width, node: node, ctl: ctl}
 		return s, width, need, node, nil
 
 	case OpFilter:
 		// The filter refines the child's selection in place, so its output
 		// batches are the child's: populated set passes through.
 		childNeed := pn.childNeeds(need)[0]
-		child, width, pop, childNode, err := openCol(db, pn.Children[0], childNeed, capRows, ov, builds)
+		child, width, pop, childNode, err := openCol(db, pn.Children[0], childNeed, capRows, ov, builds, ctl)
 		if err != nil {
 			return nil, 0, nil, nil, err
 		}
@@ -197,7 +205,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 	case OpHashJoin:
 		cn := pn.childNeeds(need)
 		probeNeed, buildNeed := cn[0], cn[1]
-		probe, pw, probePop, probeNode, err := openCol(db, pn.Children[0], probeNeed, capRows, ov, builds)
+		probe, pw, probePop, probeNode, err := openCol(db, pn.Children[0], probeNeed, capRows, ov, builds, ctl)
 		if err != nil {
 			return nil, 0, nil, nil, err
 		}
@@ -211,11 +219,16 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		} else {
 			var buildIt colIterator
 			var buildPop []int
-			buildIt, bw, buildPop, buildNode, err = openCol(db, pn.Children[1], buildNeed, capRows, ov, builds)
+			buildIt, bw, buildPop, buildNode, err = openCol(db, pn.Children[1], buildNeed, capRows, ov, builds, ctl)
 			if err != nil {
 				return nil, 0, nil, nil, err
 			}
 			jb = newColJoinBuild(buildIt, bw, pn.RightKey, capRows, buildNeed, buildPop)
+			if ctl.stopped() {
+				// The drain ended early because the context was done: the
+				// arena is incomplete and the execution is over.
+				return nil, 0, nil, nil, ctl.err
+			}
 		}
 		node := &ExecNode{Op: pn.Op.String(), JoinSQL: pn.JoinSQL, Children: []*ExecNode{probeNode, buildNode}}
 		ji := newColHashJoinIter(probe, jb, pw, pn.LeftKey, need, probePop, capRows)
@@ -223,7 +236,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		return ji, pw + bw, need, node, nil
 
 	case OpAggregate:
-		child, width, pop, childNode, err := openCol(db, pn.Children[0], nil, capRows, ov, builds)
+		child, width, pop, childNode, err := openCol(db, pn.Children[0], nil, capRows, ov, builds, ctl)
 		if err != nil {
 			return nil, 0, nil, nil, err
 		}
@@ -239,7 +252,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		// item when rows are sampled. Both operators are the one sink
 		// operator over the one hash-aggregation state.
 		childNeed := pn.childNeeds(nil)[0]
-		child, width, pop, childNode, err := openCol(db, pn.Children[0], childNeed, capRows, ov, builds)
+		child, width, pop, childNode, err := openCol(db, pn.Children[0], childNeed, capRows, ov, builds, ctl)
 		if err != nil {
 			return nil, 0, nil, nil, err
 		}
@@ -250,6 +263,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 			st:      newGroupAggState(pn),
 			outCols: need,
 			node:    node,
+			ctl:     ctl,
 		}
 		return g, len(pn.Items), need, node, nil
 
@@ -258,7 +272,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		// state collects exactly that set, which is also the comparator's
 		// tiebreak domain (identical across all execution fronts).
 		childNeed := pn.childNeeds(need)[0]
-		child, width, pop, childNode, err := openCol(db, pn.Children[0], childNeed, capRows, ov, builds)
+		child, width, pop, childNode, err := openCol(db, pn.Children[0], childNeed, capRows, ov, builds, ctl)
 		if err != nil {
 			return nil, 0, nil, nil, err
 		}
@@ -269,13 +283,14 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 			st:      newSortState(pn, childNeed, width),
 			outCols: need,
 			node:    node,
+			ctl:     ctl,
 		}
 		return s, width, need, node, nil
 
 	case OpLimit:
 		// Pure truncation over the child's batches: output layout and
 		// populated set pass through untouched.
-		child, width, pop, childNode, err := openCol(db, pn.Children[0], pn.childNeeds(need)[0], capRows, ov, builds)
+		child, width, pop, childNode, err := openCol(db, pn.Children[0], pn.childNeeds(need)[0], capRows, ov, builds, ctl)
 		if err != nil {
 			return nil, 0, nil, nil, err
 		}
@@ -329,7 +344,11 @@ func (a *rowColAdapter) NextColBatch(dst *batch.ColBatch, cols []int) bool {
 	return true
 }
 
-// colScanIter passes projected source batches through, counting them.
+// colScanIter passes projected source batches through, counting them. It
+// is the engine's per-batch cancellation point: every unbounded loop in
+// the tree — the filter's skip loop, sink and COUNT(*) drains, hash-join
+// build drains, probe pulls — advances only by pulling scan batches, so a
+// single check here stops them all within one batch of the context ending.
 type colScanIter struct {
 	table string
 	src   batch.Source
@@ -337,9 +356,13 @@ type colScanIter struct {
 	cols  []int
 	width int
 	node  *ExecNode
+	ctl   *execCtl
 }
 
 func (s *colScanIter) Next(dst *batch.ColBatch) bool {
+	if s.ctl.stopped() {
+		return false
+	}
 	if !s.proj.NextColBatch(dst, s.cols) {
 		return false
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sort"
 
@@ -37,12 +38,26 @@ import (
 // datagen source — fall back to the sequential columnar executor, which
 // produces the identical result.
 func ExecuteParallel(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
-	return executeParallelFrom(db, plan, opts, nil)
+	return ExecuteParallelContext(context.Background(), db, plan, opts)
 }
 
-// executeParallelFrom is ExecuteParallel with optional prepared join
-// builds (the serve cache's steady-state path).
-func executeParallelFrom(db *Database, plan *Plan, opts ExecOptions, builds buildCache) (*ExecResult, error) {
+// ExecuteParallelContext is ExecuteParallel under a context: every worker
+// observes ctx in its morsel loop (and, per batch, through its scan leaf),
+// drains cleanly, and the lowest-index error convention of
+// internal/parallel extends to cancellation so context.Canceled /
+// context.DeadlineExceeded surface deterministically regardless of worker
+// scheduling. No goroutine outlives the call.
+func ExecuteParallelContext(ctx context.Context, db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
+	ctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	return executeParallelFrom(ctx, db, plan, opts, nil)
+}
+
+// executeParallelFrom is the parallel executor behind
+// ExecuteParallelContext, with optional prepared join builds (the serve
+// cache's steady-state path). The caller has already folded opts.Timeout
+// into ctx when it should apply.
+func executeParallelFrom(ctx context.Context, db *Database, plan *Plan, opts ExecOptions, builds buildCache) (*ExecResult, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -50,7 +65,10 @@ func executeParallelFrom(db *Database, plan *Plan, opts ExecOptions, builds buil
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	pp, fallback, err := openParallel(db, plan, opts, builds)
+	// The open phase (hash-join build drains) runs sequentially under the
+	// caller's context via its own control.
+	ctl := &execCtl{ctx: ctx}
+	pp, fallback, err := openParallel(db, plan, opts, builds, ctl)
 	if err != nil {
 		return nil, err
 	}
@@ -58,9 +76,9 @@ func executeParallelFrom(db *Database, plan *Plan, opts ExecOptions, builds buil
 		// Not partitionable. If the leaf scan was already opened to probe
 		// its capability, hand it to the sequential path — a table's
 		// DatagenFunc is invoked once per scan, never twice.
-		return executeColumnarFrom(db, plan, opts, fallback, builds)
+		return executeColumnarFrom(ctx, db, plan, opts, fallback, builds)
 	}
-	return pp.run(workers, opts)
+	return pp.run(ctx, workers, opts)
 }
 
 // isRootSink reports whether op is a blocking root operator handled by the
@@ -160,8 +178,9 @@ func (pp *parallelPlan) spineNodes() []*ExecNode {
 // contract or the spine has an unexpected shape — and the caller must fall
 // back to sequential execution; the returned scanOverride then carries the
 // already-opened leaf source, if any, so it is reused rather than opened
-// a second time.
-func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache) (*parallelPlan, *scanOverride, error) {
+// a second time. ctl guards the sequential build-side drains: a drain the
+// context interrupts surfaces the context error as an open failure.
+func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache, ctl *execCtl) (*parallelPlan, *scanOverride, error) {
 	pp := &parallelPlan{plan: plan}
 	pn := plan.Root
 	for isRootSink(pn.Op) {
@@ -255,11 +274,14 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache)
 			buildNode = cloneExecNode(pb.node)
 			bw = jb.width
 		} else {
-			buildIt, w, buildPop, bn, err := openCol(db, jpn.Children[1], buildNeeds[i], opts.BatchSize, nil, builds)
+			buildIt, w, buildPop, bn, err := openCol(db, jpn.Children[1], buildNeeds[i], opts.BatchSize, nil, builds, ctl)
 			if err != nil {
 				return nil, nil, err
 			}
 			jb = newColJoinBuild(buildIt, w, jpn.RightKey, opts.BatchSize, buildNeeds[i], buildPop)
+			if ctl.stopped() {
+				return nil, nil, ctl.err
+			}
 			buildNode, bw = bn, w
 		}
 		node := &ExecNode{Op: OpHashJoin.String(), JoinSQL: jpn.JoinSQL, Children: []*ExecNode{cur, buildNode}}
@@ -329,8 +351,11 @@ type workerState struct {
 }
 
 // run executes the opened plan on the given number of workers and merges
-// worker state into the sequential-identical ExecResult.
-func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) {
+// worker state into the sequential-identical ExecResult. Workers observe
+// ctx per morsel and — through their scan leaves — per batch; the first
+// real worker error cancels the siblings, and pure cancellation surfaces
+// the context's own error deterministically (parallel.RunCtx).
+func (pp *parallelPlan) run(ctx context.Context, workers int, opts ExecOptions) (*ExecResult, error) {
 	total := pp.src.Total()
 	size := morselRows(total, workers, opts.BatchSize)
 	// A worker beyond the morsel count would build a pipeline only to find
@@ -372,13 +397,16 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 		}
 	}
 
-	err := parallel.Run(workers, func(w int) error {
+	err := parallel.RunCtx(ctx, workers, func(wctx context.Context, w int) error {
 		st := states[w]
+		// Each worker owns its cancellation control (latching is
+		// single-goroutine state) over the pool's shared child context.
+		wctl := &execCtl{ctx: wctx}
 		// Worker-local columnar pipeline over shadow nodes; the scan source
 		// is swapped per morsel, join iterators reset their probe cursors.
 		scanShadow := &ExecNode{}
 		st.shadow = append(st.shadow, scanShadow)
-		scanIt := &colScanIter{cols: pp.scanNeed, width: pp.scanCols, node: scanShadow}
+		scanIt := &colScanIter{cols: pp.scanNeed, width: pp.scanCols, node: scanShadow, ctl: wctl}
 		var cur colIterator = scanIt
 		if fp := pp.filterPn; fp != nil {
 			filterShadow := &ExecNode{}
@@ -401,6 +429,11 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 		}
 		b := batch.NewCol(pp.width, opts.BatchSize, topPop)
 		for {
+			if wctl.stopped() {
+				// Drain cleanly: abandon remaining morsels, surface the
+				// context error for deterministic selection in RunCtx.
+				return wctl.err
+			}
 			lo, hi, ok := morsels.Next()
 			if !ok {
 				return nil
@@ -519,7 +552,14 @@ func (pp *parallelPlan) run(workers int, opts ExecOptions) (*ExecResult, error) 
 		}
 	}
 	b := batch.NewCol(pp.sinkWidth(0), opts.BatchSize, pp.sinkNeeds[0])
-	runColumnar(cur, b, pp.plan, opts, res)
+	// The merge-side emission runs on the calling goroutine under the same
+	// context: a cancellation arriving during a large merged-sort emit still
+	// unwinds at the next batch boundary.
+	mctl := &execCtl{ctx: ctx}
+	runColumnar(mctl, cur, b, pp.plan, opts, res)
+	if mctl.err != nil {
+		return nil, mctl.err
+	}
 	if err := cur.deferredErr(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -110,7 +111,7 @@ func TestExecuteParallelStoredParity(t *testing.T) {
 		plan := mustPlan(t, db, sql)
 		for _, size := range []int{0, 3, 64} {
 			seqOpts := ExecOptions{SampleLimit: 7, BatchSize: size}
-			want, err := executeColumnar(db, plan, seqOpts)
+			want, err := executeColumnarFrom(context.Background(), db, plan, seqOpts, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -148,7 +149,7 @@ func TestExecuteParallelFallback(t *testing.T) {
 		"SELECT DISTINCT q FROM fact",
 	} {
 		plan := mustPlan(t, db, sql)
-		want, err := executeColumnar(db, plan, ExecOptions{SampleLimit: 5})
+		want, err := executeColumnarFrom(context.Background(), db, plan, ExecOptions{SampleLimit: 5}, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/batch"
 )
 
@@ -11,7 +13,9 @@ import (
 // database's lifetime; a Prepared is safe for concurrent Execute calls
 // (each opens fresh probe state over the shared builds). This is what the
 // serve front end caches per normalized query — steady-state traffic never
-// rebuilds a hash table.
+// rebuilds a hash table. Cancellation cannot poison a Prepared: the arenas
+// are immutable after Prepare, and a canceled execution abandons only its
+// private probe state.
 type Prepared struct {
 	db     *Database
 	plan   *Plan
@@ -24,7 +28,10 @@ func (p *Prepared) Plan() *Plan { return p.plan }
 // Prepare compiles the plan's hash-join build sides into shared arenas.
 // Builds materialize every build-side column, so later executions may
 // request any sample projection. opts supplies the build drain's batch
-// size; Parallelism and SampleLimit are ignored here.
+// size; Parallelism, SampleLimit, and Timeout are ignored here (the drain
+// is deliberately uncancellable: a Prepared under construction is not yet
+// shared, and a per-request deadline belongs to executions, not to the
+// cache-fill work other requests will reuse).
 func Prepare(db *Database, plan *Plan, opts ExecOptions) (*Prepared, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
@@ -53,7 +60,7 @@ func (p *Prepared) prepareNode(pn *PlanNode, capRows int) error {
 		for i := range all {
 			all[i] = i
 		}
-		buildIt, bw, buildPop, buildNode, err := openCol(p.db, build, all, capRows, nil, p.builds)
+		buildIt, bw, buildPop, buildNode, err := openCol(p.db, build, all, capRows, nil, p.builds, &execCtl{})
 		if err != nil {
 			return err
 		}
@@ -69,24 +76,38 @@ func (p *Prepared) prepareNode(pn *PlanNode, capRows int) error {
 // plan, minus the build cost. With opts.Parallelism >= 1 the probe pipeline
 // is morsel-parallel over the same shared builds.
 func (p *Prepared) Execute(opts ExecOptions) (*ExecResult, error) {
+	return p.ExecuteContext(context.Background(), opts)
+}
+
+// ExecuteContext is Execute under a context, with the engine's
+// batch-boundary cancellation contract (see ExecuteContext): the probe
+// pipeline stops at the next batch once ctx is done or opts.Timeout
+// expires, returning the context's error. The shared build arenas are
+// untouched by a canceled execution.
+func (p *Prepared) ExecuteContext(ctx context.Context, opts ExecOptions) (*ExecResult, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
 	if opts.Parallelism >= 1 {
-		return executeParallelFrom(p.db, p.plan, opts, p.builds)
+		return executeParallelFrom(ctx, p.db, p.plan, opts, p.builds)
 	}
-	return executeColumnarFrom(p.db, p.plan, opts, nil, p.builds)
+	return executeColumnarFrom(ctx, p.db, p.plan, opts, nil, p.builds)
 }
 
 // ExecState is caller-owned reusable execution state for ExecuteIn: the
-// opened operator tree, its ExecNode mirror, the root column batch, and
-// the result struct. One goroutine per ExecState.
+// opened operator tree, its ExecNode mirror, the root column batch, the
+// result struct, and the execution's cancellation control (owned for the
+// state's lifetime and rebound per call, so context plumbing costs no
+// allocations). One goroutine per ExecState.
 type ExecState struct {
 	it    colIterator
 	b     *batch.ColBatch
 	res   ExecResult
 	opts  ExecOptions
+	ctl   execCtl
 	valid bool
 }
 
@@ -101,14 +122,32 @@ type ExecState struct {
 // pins. opts.Parallelism is ignored (the reuse path is sequential by
 // construction).
 func (p *Prepared) ExecuteIn(st *ExecState, opts ExecOptions) (*ExecResult, error) {
+	return p.ExecuteInContext(context.Background(), st, opts)
+}
+
+// ExecuteInContext is ExecuteIn under a context: cancellation is observed
+// at batch boundaries through the state's own execCtl (a field rebind, not
+// a per-batch closure, so the zero-allocation steady state survives — with
+// a background context and no Timeout, nothing is allocated). A canceled
+// execution leaves st reusable: the next call rewinds and recycles the
+// same state, and results are unaffected — cancellation cannot poison the
+// prepared state.
+func (p *Prepared) ExecuteInContext(ctx context.Context, st *ExecState, opts ExecOptions) (*ExecResult, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	// The deadline now lives in ctx; zero the field so state reuse keys on
+	// the execution-shaping options only (a per-call Timeout change must
+	// not rebuild the operator tree).
+	opts.Timeout = 0
 	opts.Parallelism = 0
+	st.ctl.bind(ctx)
 	if !st.valid || st.opts != opts {
 		need := rootNeed(p.plan, opts)
-		it, width, pop, node, err := openCol(p.db, p.plan.Root, need, opts.BatchSize, nil, p.builds)
+		it, width, pop, node, err := openCol(p.db, p.plan.Root, need, opts.BatchSize, nil, p.builds, &st.ctl)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +161,10 @@ func (p *Prepared) ExecuteIn(st *ExecState, opts ExecOptions) (*ExecResult, erro
 	}
 	st.res.Rows, st.res.Count = 0, 0
 	st.res.Sample = nil
-	runColumnar(st.it, st.b, p.plan, opts, &st.res)
+	runColumnar(&st.ctl, st.it, st.b, p.plan, opts, &st.res)
+	if st.ctl.err != nil {
+		return nil, st.ctl.err
+	}
 	if err := st.it.deferredErr(); err != nil {
 		return nil, err
 	}

@@ -53,6 +53,7 @@ type colSinkIter struct {
 	st      sinkState
 	outCols []int // output columns the caller materializes
 	node    *ExecNode
+	ctl     *execCtl // nil = uncancellable (parallel merge emission)
 
 	drained bool
 	pos     int // next output row to emit
@@ -63,6 +64,12 @@ func (g *colSinkIter) Next(dst *batch.ColBatch) bool {
 	if !g.drained {
 		for g.child.Next(g.buf) {
 			g.st.observe(g.buf)
+		}
+		// A drain cut short by cancellation (the child's scan leaf stopped)
+		// must not pay for finish — sorting or ordering a large partial
+		// state would delay the unwind well past a batch boundary.
+		if g.ctl != nil && g.ctl.stopped() {
+			return false
 		}
 		g.st.finish() // freezes order; may park a deferred error
 		g.drained = true

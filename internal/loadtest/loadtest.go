@@ -1,0 +1,331 @@
+// Package loadtest is Hydra's built-in load generator: a client-side
+// harness that drives a running hydra serve front end with a configurable
+// query mix and measures what the paper's demo audience would see under
+// pressure — admitted-request latency percentiles, shed rate, and
+// throughput. It exists so the E15 overload experiment (EXPERIMENTS.md)
+// and the CI loadtest smoke run from the shipped binary, with no external
+// tooling.
+//
+// Two driving modes:
+//
+//   - Closed loop (Rate == 0): Concurrency clients issue queries
+//     back-to-back; offered load self-limits to the server's capacity.
+//   - Open loop (Rate > 0): arrivals are scheduled at the given rate
+//     regardless of completions — the mode that actually overloads a
+//     server, since a slow server cannot push back on the schedule.
+//
+// The query mix is zipfian (rand.NewZipf) over the Queries slice: index 0
+// is the hottest shape, matching how a plan cache sees production traffic.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configure one load-test run.
+type Options struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:8372".
+	BaseURL string
+	// Queries is the SQL mix; requests draw from it zipfian-skewed
+	// (index 0 hottest). Must be non-empty.
+	Queries []string
+	// ZipfS is the zipf skew parameter (> 1); values <= 1 select a uniform
+	// mix. The default 1.5 approximates a production hot-shape skew.
+	ZipfS float64
+	// Concurrency is the closed-loop client count, and in open-loop mode
+	// the cap on in-flight requests the harness itself tolerates
+	// (a protection for the client host, not the server). 0 = 8.
+	Concurrency int
+	// Rate is the open-loop arrival rate in requests/sec; 0 = closed loop.
+	Rate float64
+	// Duration bounds the run. 0 = 5s.
+	Duration time.Duration
+	// TimeoutMS, when positive, is sent as each request's timeout_ms.
+	TimeoutMS int64
+	// Parallelism, when non-nil, overrides the server's per-query worker
+	// count.
+	Parallelism *int
+	// Seed makes the mix deterministic.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.5
+	}
+	return o
+}
+
+// LatencySummary describes one outcome class's latency distribution.
+type LatencySummary struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Sent    int           `json:"sent"`
+	// Status counts every response by HTTP status code.
+	Status map[int]int `json:"status"`
+	// OK / Shed / Unavailable / Timeout / TransportErrors partition Sent:
+	// 200s, 429s, 503s, 504s, and requests that failed before a status
+	// (connection refused, client-side deadline).
+	OK              int `json:"ok"`
+	Shed            int `json:"shed"`
+	Unavailable     int `json:"unavailable"`
+	Timeout         int `json:"timeout"`
+	Other           int `json:"other"`
+	TransportErrors int `json:"transport_errors"`
+	// Admitted is the latency of 200 responses, SchedLatency of 429s (how
+	// fast a shed fails — the property that keeps overload survivable).
+	Admitted    LatencySummary `json:"admitted"`
+	ShedLatency LatencySummary `json:"shed_latency"`
+	// Throughput is admitted queries per second over the whole run.
+	Throughput float64 `json:"throughput_qps"`
+}
+
+// ShedRate is the fraction of sent requests that were shed (429).
+func (r *Result) ShedRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Sent)
+}
+
+// collector accumulates per-request observations across client goroutines.
+type collector struct {
+	mu        sync.Mutex
+	status    map[int]int
+	transport int
+	okLat     []time.Duration
+	shedLat   []time.Duration
+}
+
+func (c *collector) observe(status int, d time.Duration, transportErr bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if transportErr {
+		c.transport++
+		return
+	}
+	c.status[status]++
+	switch status {
+	case http.StatusOK:
+		c.okLat = append(c.okLat, d)
+	case http.StatusTooManyRequests:
+		c.shedLat = append(c.shedLat, d)
+	}
+}
+
+// picker draws queries from the mix, zipfian-skewed; it serializes the
+// shared rng.
+type picker struct {
+	mu      sync.Mutex
+	queries []string
+	zipf    *rand.Zipf
+	rng     *rand.Rand
+}
+
+func newPicker(opts Options) *picker {
+	p := &picker{queries: opts.Queries, rng: rand.New(rand.NewSource(opts.Seed))}
+	if opts.ZipfS > 1 && len(opts.Queries) > 1 {
+		p.zipf = rand.NewZipf(p.rng, opts.ZipfS, 1, uint64(len(opts.Queries)-1))
+	}
+	return p
+}
+
+func (p *picker) pick() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.zipf != nil {
+		return p.queries[p.zipf.Uint64()]
+	}
+	return p.queries[p.rng.Intn(len(p.queries))]
+}
+
+// request is the wire form of POST /query this harness emits (mirrors
+// serve.QueryRequest without importing it — the harness is a pure client).
+type request struct {
+	SQL         string `json:"sql"`
+	TimeoutMS   *int64 `json:"timeout_ms,omitempty"`
+	Parallelism *int   `json:"parallelism,omitempty"`
+}
+
+// Run drives the server until ctx is done or the configured duration
+// elapses, whichever is first, and summarizes what happened.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadtest: no base URL")
+	}
+	if len(opts.Queries) == 0 {
+		return nil, fmt.Errorf("loadtest: no queries")
+	}
+	ctx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+
+	col := &collector{status: make(map[int]int)}
+	pick := newPicker(opts)
+	// A keep-alive pool sized to the harness's in-flight cap: the default
+	// transport keeps only 2 idle conns per host, and the resulting
+	// connection churn under open-loop overload would bury the server's
+	// fast-shed latency in client-side dial time.
+	maxConns := 16 * opts.Concurrency
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        maxConns,
+		MaxIdleConnsPerHost: maxConns,
+	}}
+	defer client.CloseIdleConnections()
+	url := opts.BaseURL + "/query"
+	var tmo *int64
+	if opts.TimeoutMS > 0 {
+		tmo = &opts.TimeoutMS
+	}
+	shoot := func() {
+		body, _ := json.Marshal(request{SQL: pick.pick(), TimeoutMS: tmo, Parallelism: opts.Parallelism})
+		// The request deliberately does NOT carry ctx: when the run's clock
+		// expires, in-flight requests finish instead of polluting the
+		// transport-error count; the waitgroup below bounds the tail.
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			col.observe(0, 0, true)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			col.observe(0, 0, true)
+			return
+		}
+		resp.Body.Close()
+		col.observe(resp.StatusCode, time.Since(start), false)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var sent int
+	if opts.Rate > 0 {
+		// Open loop: arrivals on a fixed schedule, decoupled from
+		// completions. The semaphore only protects the client host from
+		// unbounded goroutine pileup; a full semaphore skips the arrival
+		// (counted as transport pressure, not a server response).
+		interval := time.Duration(float64(time.Second) / opts.Rate)
+		sem := make(chan struct{}, 16*opts.Concurrency)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+	openLoop:
+		for {
+			select {
+			case <-ctx.Done():
+				break openLoop
+			case <-ticker.C:
+				select {
+				case sem <- struct{}{}:
+					sent++
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() { <-sem }()
+						shoot()
+					}()
+				default:
+					sent++
+					col.observe(0, 0, true) // client saturated; arrival dropped
+				}
+			}
+		}
+	} else {
+		// Closed loop: each client issues queries back-to-back.
+		var sentMu sync.Mutex
+		for c := 0; c < opts.Concurrency; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					sentMu.Lock()
+					sent++
+					sentMu.Unlock()
+					shoot()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Elapsed:         elapsed,
+		Sent:            sent,
+		Status:          col.status,
+		TransportErrors: col.transport,
+		Admitted:        summarize(col.okLat),
+		ShedLatency:     summarize(col.shedLat),
+	}
+	for code, n := range col.status {
+		switch code {
+		case http.StatusOK:
+			res.OK += n
+		case http.StatusTooManyRequests:
+			res.Shed += n
+		case http.StatusServiceUnavailable:
+			res.Unavailable += n
+		case http.StatusGatewayTimeout:
+			res.Timeout += n
+		default:
+			res.Other += n
+		}
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.OK) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+func summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pct := func(q float64) time.Duration {
+		i := int(q*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	return LatencySummary{
+		Count: len(lat),
+		Mean:  sum / time.Duration(len(lat)),
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+		Max:   lat[len(lat)-1],
+	}
+}

@@ -1,0 +1,185 @@
+package loadtest
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/summary"
+	"repro/internal/toy"
+)
+
+// scriptedServer answers POST /query with a deterministic status sequence,
+// so classification and accounting are tested independent of real server
+// timing (admission behavior itself is covered in internal/serve).
+func scriptedServer(t *testing.T, status func(n int64) int) *httptest.Server {
+	t.Helper()
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		code := status(n.Add(1))
+		w.WriteHeader(code)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestLoadtestClassification: every status class lands in its own counter
+// and OK/Shed/Unavailable/Timeout/Other partition the responses.
+func TestLoadtestClassification(t *testing.T) {
+	srv := scriptedServer(t, func(n int64) int {
+		switch n % 5 {
+		case 0:
+			return http.StatusTooManyRequests
+		case 1:
+			return http.StatusServiceUnavailable
+		case 2:
+			return http.StatusGatewayTimeout
+		case 3:
+			return http.StatusInternalServerError
+		default:
+			return http.StatusOK
+		}
+	})
+	res, err := Run(context.Background(), Options{
+		BaseURL:     srv.URL,
+		Queries:     []string{"SELECT COUNT(*) FROM r"},
+		Concurrency: 4,
+		Duration:    200 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.OK == 0 || res.Shed == 0 || res.Unavailable == 0 || res.Timeout == 0 || res.Other == 0 {
+		t.Fatalf("expected every class non-empty: %+v", res)
+	}
+	if got := res.OK + res.Shed + res.Unavailable + res.Timeout + res.Other + res.TransportErrors; got != res.Sent {
+		t.Fatalf("classes sum to %d, sent %d", got, res.Sent)
+	}
+	if res.Admitted.Count != res.OK || res.ShedLatency.Count != res.Shed {
+		t.Fatalf("latency counts (%d ok, %d shed) disagree with status counts (%d, %d)",
+			res.Admitted.Count, res.ShedLatency.Count, res.OK, res.Shed)
+	}
+	if res.Admitted.P50 > res.Admitted.P99 || res.Admitted.P99 > res.Admitted.Max {
+		t.Fatalf("latency summary not monotone: %+v", res.Admitted)
+	}
+	if sr := res.ShedRate(); sr <= 0 || sr >= 1 {
+		t.Fatalf("shed rate %v outside (0,1)", sr)
+	}
+}
+
+// TestLoadtestTransportErrors: a server that is not there at all yields
+// transport errors, never fabricated statuses.
+func TestLoadtestTransportErrors(t *testing.T) {
+	// Reserve a port and close it so nothing is listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close()
+	res, err := Run(context.Background(), Options{
+		BaseURL:     url,
+		Queries:     []string{"SELECT 1"},
+		Concurrency: 2,
+		Duration:    100 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransportErrors == 0 || res.TransportErrors != res.Sent {
+		t.Fatalf("want every request to be a transport error: %+v", res)
+	}
+	if res.OK+res.Shed+res.Unavailable+res.Timeout+res.Other != 0 {
+		t.Fatalf("fabricated statuses for failed requests: %+v", res)
+	}
+}
+
+func toyServer(t *testing.T) string {
+	t.Helper()
+	db, err := toy.Database(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := core.CaptureClient(db, toy.Workload(), core.CaptureOptions{SkipStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _, err := core.BuildFromPackage(pkg, summary.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(sum, serve.Options{Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	t.Cleanup(func() { httpSrv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+// TestLoadtestClosedLoopEndToEnd drives a real in-process server: every
+// response must be 200 (no admission bound set, so nothing may be shed or
+// fail) and the accounting must add up.
+func TestLoadtestClosedLoopEndToEnd(t *testing.T) {
+	url := toyServer(t)
+	res, err := Run(context.Background(), Options{
+		BaseURL:     url,
+		Queries:     []string{"SELECT COUNT(*) FROM r", "SELECT COUNT(*) FROM s WHERE a >= 20 AND a < 60"},
+		Concurrency: 8,
+		Duration:    300 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK == 0 || res.OK != res.Sent {
+		t.Fatalf("unbounded server must answer every request 200: %+v", res)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput not computed: %+v", res)
+	}
+}
+
+// TestLoadtestOpenLoop schedules arrivals at a fixed rate; the run must
+// send roughly rate×duration requests even though the server is fast.
+func TestLoadtestOpenLoop(t *testing.T) {
+	url := toyServer(t)
+	res, err := Run(context.Background(), Options{
+		BaseURL:     url,
+		Queries:     []string{"SELECT COUNT(*) FROM r"},
+		Concurrency: 8,
+		Rate:        200,
+		Duration:    300 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200/s over 300ms ≈ 60 arrivals; allow generous scheduling slack.
+	if res.Sent < 20 {
+		t.Fatalf("open loop sent only %d requests at 200/s over 300ms", res.Sent)
+	}
+	if res.OK == 0 {
+		t.Fatalf("no admitted requests: %+v", res)
+	}
+}
+
+// TestLoadtestValidation: missing URL or query mix is an error.
+func TestLoadtestValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Queries: []string{"SELECT 1"}}); err == nil {
+		t.Fatal("no BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Options{BaseURL: "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("empty query mix accepted")
+	}
+}

@@ -1,11 +1,13 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMorselsCoverExactlyOnce(t *testing.T) {
@@ -125,5 +127,97 @@ func TestRunClampsWorkerCount(t *testing.T) {
 	}
 	if n != 1 || !workers[0] {
 		t.Fatalf("Run(0) ran %d workers (%v), want exactly worker 0", n, workers)
+	}
+}
+
+// TestRunCtxCancelsSiblingsOnError: the first worker error cancels the
+// shared child context, so sibling workers observe it and drain; the real
+// error is returned, never the context errors it triggered.
+func TestRunCtxCancelsSiblingsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	err := RunCtx(context.Background(), 4, func(ctx context.Context, w int) error {
+		if w == 2 {
+			return boom
+		}
+		<-ctx.Done() // blocked until the failing sibling cancels us
+		return ctx.Err()
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunCtx returned %v, want the worker error %v", err, boom)
+	}
+}
+
+// TestRunCtxLowestNonContextError: with several real failures, the
+// lowest-indexed one wins deterministically.
+func TestRunCtxLowestNonContextError(t *testing.T) {
+	var release sync.WaitGroup
+	release.Add(1)
+	errOf := func(w int) error { return fmt.Errorf("worker %d failed", w) }
+	err := RunCtx(context.Background(), 4, func(ctx context.Context, w int) error {
+		if w == 0 {
+			// Guarantee worker 3 fails first, so the selection cannot be
+			// accidental arrival order.
+			release.Wait()
+			return errOf(0)
+		}
+		if w == 3 {
+			defer release.Done()
+			return errOf(3)
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err == nil || err.Error() != "worker 0 failed" {
+		t.Fatalf("RunCtx returned %v, want the lowest-indexed real error", err)
+	}
+}
+
+// TestRunCtxExternalCancellation: when the caller's context itself ends,
+// its error is returned even if every worker exits cleanly.
+func TestRunCtxExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var entered sync.WaitGroup
+	entered.Add(2)
+	go func() {
+		entered.Wait()
+		cancel()
+	}()
+	err := RunCtx(ctx, 2, func(ctx context.Context, w int) error {
+		entered.Done()
+		<-ctx.Done()
+		return nil // clean exit; the pool must still report the cancellation
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCtxWorkerContextError: a worker that surfaces its context error
+// after external cancellation yields that same error, not a masked one.
+func TestRunCtxWorkerContextError(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	err := RunCtx(ctx, 3, func(ctx context.Context, w int) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunCtxNoError: all-clean runs return nil and leave the caller's
+// context untouched.
+func TestRunCtxNoError(t *testing.T) {
+	ctx := context.Background()
+	var n atomic.Int64
+	if err := RunCtx(ctx, 8, func(ctx context.Context, w int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("RunCtx returned %v, want nil", err)
+	}
+	if n.Load() != 8 {
+		t.Fatalf("ran %d workers, want 8", n.Load())
 	}
 }

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Request outcomes, the label space of the /metricsz counters and latency
+// histograms. Exactly one outcome is recorded per POST /query request.
+const (
+	outcomeOK         = "ok"          // 200
+	outcomeBadRequest = "bad_request" // 4xx before execution
+	outcomeError      = "error"       // 500 (build or execution fault)
+	outcomeTimeout    = "timeout"     // 504: the query's deadline expired
+	outcomeCanceled   = "canceled"    // 499: caller went away or drain canceled it
+	outcomeShed       = "shed"        // 429: admission refused (queue full or wait expired)
+	outcomeDraining   = "draining"    // 503: server is shutting down
+)
+
+// allOutcomes fixes the exposition order so scrapes are diffable.
+var allOutcomes = []string{
+	outcomeOK, outcomeBadRequest, outcomeError,
+	outcomeTimeout, outcomeCanceled, outcomeShed, outcomeDraining,
+}
+
+// Shed reasons, the label space of hydra_shed_total.
+const (
+	shedQueueFull    = "queue_full"
+	shedQueueTimeout = "queue_timeout"
+	shedDraining     = "draining"
+)
+
+var allShedReasons = []string{shedQueueFull, shedQueueTimeout, shedDraining}
+
+// latencyBuckets are the histogram upper bounds in seconds: 100µs to 10s in
+// a 1-2.5-5 ladder, wide enough to hold both a shed 429 (microseconds) and
+// a paced regeneration query (seconds). The +Inf bucket is implicit.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation. Bucket counts are stored per-bucket and accumulated into
+// the cumulative Prometheus form at scrape time.
+type histogram struct {
+	buckets [len(latencyBuckets) + 1]atomic.Int64 // last = overflow (+Inf)
+	sumNS   atomic.Int64
+	count   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets[:], sec)
+	h.buckets[i].Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// metrics is the server's observability state: an in-flight gauge, the
+// admission queue gauge (read from the admission controller), per-outcome
+// request counters and latency histograms, and shed-reason counters.
+type metrics struct {
+	inFlight atomic.Int64
+	requests map[string]*outcomeSeries // key: outcome label, fixed at construction
+	shed     map[string]*atomic.Int64  // key: shed reason
+}
+
+type outcomeSeries struct {
+	count   atomic.Int64
+	latency histogram
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		requests: make(map[string]*outcomeSeries, len(allOutcomes)),
+		shed:     make(map[string]*atomic.Int64, len(allShedReasons)),
+	}
+	for _, o := range allOutcomes {
+		m.requests[o] = &outcomeSeries{}
+	}
+	for _, r := range allShedReasons {
+		m.shed[r] = &atomic.Int64{}
+	}
+	return m
+}
+
+// record counts one finished request under its outcome.
+func (m *metrics) record(outcome string, d time.Duration) {
+	s := m.requests[outcome]
+	s.count.Add(1)
+	s.latency.observe(d)
+}
+
+// recordShed additionally attributes a shed (or drain-refused) request to
+// its reason.
+func (m *metrics) recordShed(reason string) { m.shed[reason].Add(1) }
+
+// handleMetrics serves GET /metricsz in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled — the repository takes no
+// dependencies. Series with zero observations are still exposed so
+// dashboards see a stable schema.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	var b bytes.Buffer
+
+	fmt.Fprintf(&b, "# HELP hydra_inflight_queries Queries currently executing.\n")
+	fmt.Fprintf(&b, "# TYPE hydra_inflight_queries gauge\n")
+	fmt.Fprintf(&b, "hydra_inflight_queries %d\n", s.met.inFlight.Load())
+
+	fmt.Fprintf(&b, "# HELP hydra_queued_queries Queries waiting for an admission slot.\n")
+	fmt.Fprintf(&b, "# TYPE hydra_queued_queries gauge\n")
+	fmt.Fprintf(&b, "hydra_queued_queries %d\n", s.adm.queued.Load())
+
+	fmt.Fprintf(&b, "# HELP hydra_requests_total POST /query requests by outcome.\n")
+	fmt.Fprintf(&b, "# TYPE hydra_requests_total counter\n")
+	for _, o := range allOutcomes {
+		fmt.Fprintf(&b, "hydra_requests_total{outcome=%q} %d\n", o, s.met.requests[o].count.Load())
+	}
+
+	fmt.Fprintf(&b, "# HELP hydra_shed_total Requests refused by admission control, by reason.\n")
+	fmt.Fprintf(&b, "# TYPE hydra_shed_total counter\n")
+	for _, reason := range allShedReasons {
+		fmt.Fprintf(&b, "hydra_shed_total{reason=%q} %d\n", reason, s.met.shed[reason].Load())
+	}
+
+	fmt.Fprintf(&b, "# HELP hydra_request_duration_seconds Request latency by outcome.\n")
+	fmt.Fprintf(&b, "# TYPE hydra_request_duration_seconds histogram\n")
+	for _, o := range allOutcomes {
+		h := &s.met.requests[o].latency
+		var cum int64
+		for i, le := range latencyBuckets[:] {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(&b, "hydra_request_duration_seconds_bucket{outcome=%q,le=%q} %d\n", o, formatLE(le), cum)
+		}
+		cum += h.buckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(&b, "hydra_request_duration_seconds_bucket{outcome=%q,le=\"+Inf\"} %d\n", o, cum)
+		fmt.Fprintf(&b, "hydra_request_duration_seconds_sum{outcome=%q} %g\n", o, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(&b, "hydra_request_duration_seconds_count{outcome=%q} %d\n", o, h.count.Load())
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := w.Write(b.Bytes()); err != nil {
+		s.logf("serve: writing /metricsz response: %v", err)
+	}
+}
+
+// formatLE renders a bucket bound the way Prometheus clients expect
+// (shortest decimal form, no exponent for these magnitudes).
+func formatLE(v float64) string { return fmt.Sprintf("%g", v) }

@@ -14,13 +14,25 @@
 //
 // Endpoints:
 //
-//	POST /query    {"sql": "SELECT COUNT(*) FROM ...",
-//	                "batch_size": 512, "parallelism": 4} →
+//	POST /query    {"sql": "SELECT COUNT(*) FROM ...", "batch_size": 512,
+//	                "parallelism": 4, "timeout_ms": 250} →
 //	               {"count", "rows", "sample", "plan", "cache", "elapsed_ns", ...}
 //	GET  /healthz  {"status": "ok", "tables": N, "cache": {...}, ...}
 //	GET  /statsz   {"cache": {...}, "last_query": {"sql", "cache",
 //	               "elapsed_ns", "plan"}} — plan-cache effectiveness plus the
 //	               last query's per-operator ExecNode counters
+//	GET  /metricsz Prometheus text exposition: in-flight/queued gauges,
+//	               per-outcome request counters and latency histograms,
+//	               shed counters by reason
+//
+// The server survives overload by construction (admission.go): at most
+// MaxInFlight queries execute, a bounded queue absorbs bursts, and the
+// rest shed fast with 429 + Retry-After. Each query runs under a context
+// assembled from the client connection, an optional timeout_ms deadline
+// (clamped by MaxTimeout; expiry → 504), and the server's drain state —
+// BeginDrain refuses new work with 503 while admitted queries finish, and
+// CancelInFlight force-unwinds the stragglers at their next batch boundary
+// (499). The engine guarantees cancellation never leaks a goroutine.
 //
 // The handler is safe for concurrent use: the underlying dataless
 // database is read-only after construction, every request opens fresh
@@ -28,9 +40,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"mime"
 	"net/http"
 	"strings"
@@ -64,6 +78,23 @@ type Options struct {
 	// DefaultCacheSize, negative disables caching entirely (every request
 	// re-plans and rebuilds).
 	PlanCacheSize int
+
+	// MaxInFlight bounds concurrently executing queries; 0 = unlimited
+	// (admission control disabled except for draining). Requests beyond the
+	// bound enter a bounded wait queue or are shed with 429.
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for an execution slot when
+	// all MaxInFlight slots are busy; 0 = no queue (immediate shed).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// being shed: 0 selects DefaultQueueWait, negative disables waiting.
+	QueueWait time.Duration
+	// MaxTimeout caps (and, when a request carries no timeout_ms, supplies)
+	// the per-query execution deadline; 0 = no server-side deadline.
+	MaxTimeout time.Duration
+	// Logf receives diagnostic messages (response-write failures and the
+	// like); nil selects the stdlib logger.
+	Logf func(format string, args ...any)
 }
 
 // Server serves queries against one summary's dataless database.
@@ -72,20 +103,58 @@ type Server struct {
 	db    *engine.Database
 	opts  Options
 	cache *planCache
+	adm   *admission
+	met   *metrics
+	logf  func(format string, args ...any)
+
+	// hardCtx is canceled by CancelInFlight: every in-flight query's
+	// context is a child of the request context AND this one (via
+	// context.AfterFunc), so a drain whose grace expires can cancel all
+	// running work without tracking individual requests.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
 
 	mu   sync.Mutex
 	last *LastQueryStats // most recently completed query, for GET /statsz
+
+	// testHookAdmitted, when set, runs after a request is admitted (slot
+	// held) and before execution — the seam deterministic overload tests
+	// block in to hold slots occupied.
+	testHookAdmitted func()
 }
 
 // New builds a server over the summary.
 func New(sum *summary.Database, opts Options) *Server {
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	hardCtx, hardCancel := context.WithCancel(context.Background())
 	return &Server{
-		sum:   sum,
-		db:    core.RegenDatabase(sum, opts.RowsPerSec),
-		opts:  opts,
-		cache: newPlanCache(opts.PlanCacheSize),
+		sum:        sum,
+		db:         core.RegenDatabase(sum, opts.RowsPerSec),
+		opts:       opts,
+		cache:      newPlanCache(opts.PlanCacheSize),
+		adm:        newAdmission(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait),
+		met:        newMetrics(),
+		logf:       logf,
+		hardCtx:    hardCtx,
+		hardCancel: hardCancel,
 	}
 }
+
+// BeginDrain moves the server into draining: every subsequent POST /query —
+// including requests already waiting in the admission queue — is refused
+// with 503 + Retry-After, while admitted queries keep running. Call it
+// before http.Server.Shutdown so the listener's connections empty out.
+// Idempotent.
+func (s *Server) BeginDrain() { s.adm.beginDrain() }
+
+// CancelInFlight cancels the context of every currently executing query:
+// each unwinds at its next batch boundary with context.Canceled and its
+// request finishes with 499. The escalation step when a drain's grace
+// period expires. Idempotent.
+func (s *Server) CancelInFlight() { s.hardCancel() }
 
 // InvalidateCache drops every cached plan and build arena — the hook to
 // call when the served summary is swapped or mutated out from under the
@@ -103,6 +172,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/statsz", s.handleStats)
+	mux.HandleFunc("/metricsz", s.handleMetrics)
 	return mux
 }
 
@@ -114,6 +184,11 @@ type QueryRequest struct {
 	SQL         string `json:"sql"`
 	BatchSize   *int   `json:"batch_size,omitempty"`
 	Parallelism *int   `json:"parallelism,omitempty"`
+	// TimeoutMS is the query's execution deadline in milliseconds; the
+	// engine cancels cooperatively at the next batch boundary once it
+	// expires and the request fails with 504. Clamped from above by the
+	// server's MaxTimeout; must be positive when present.
+	TimeoutMS *int64 `json:"timeout_ms,omitempty"`
 }
 
 // QueryResponse is the POST /query reply: the COUNT value (for COUNT(*)
@@ -164,22 +239,22 @@ type LastQueryStats struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	s.mu.Lock()
 	last := s.last
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, StatsResponse{Cache: s.cache.stats(), LastQuery: last})
+	s.writeJSON(w, http.StatusOK, StatsResponse{Cache: s.cache.stats(), LastQuery: last})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:      "ok",
 		Tables:      len(s.sum.Relations),
 		Parallelism: s.opts.Parallelism,
@@ -192,10 +267,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // let one request hold arbitrary memory.
 const MaxQueryBody = 1 << 20
 
+// StatusClientClosedRequest is the (nginx-originated, de facto standard)
+// status for a request whose client went away — or whose execution was
+// hard-canceled by a drain — before a response could be produced.
+const StatusClientClosedRequest = 499
+
+// RetryAfterSeconds is the Retry-After hint attached to 429 and 503
+// refusals: shed responses are fast failures, and the hint tells
+// well-behaved clients when backing off is long enough.
+const RetryAfterSeconds = 1
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	fail := func(outcome string, status int, err error) {
+		s.writeError(w, status, err)
+		s.met.record(outcome, time.Since(start))
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		fail(outcomeBadRequest, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
 	// The body is JSON: reject any declared non-JSON content type up front
@@ -203,7 +293,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// the body the decoder may consume.
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		if mt, _, err := mime.ParseMediaType(ct); err != nil || (mt != "application/json" && !strings.HasSuffix(mt, "+json")) {
-			writeError(w, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q is not JSON", ct))
+			fail(outcomeBadRequest, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q is not JSON", ct))
 			return
 		}
 	}
@@ -212,14 +302,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			fail(outcomeBadRequest, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		fail(outcomeBadRequest, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if req.SQL == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("request has no sql"))
+		fail(outcomeBadRequest, http.StatusBadRequest, fmt.Errorf("request has no sql"))
 		return
 	}
 	opts := engine.ExecOptions{
@@ -235,26 +325,95 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := opts.Normalize()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		fail(outcomeBadRequest, http.StatusBadRequest, err)
 		return
 	}
+	// The per-query deadline: the request's timeout_ms, clamped from above
+	// by the server's MaxTimeout (which also supplies the deadline when the
+	// request carries none).
+	var timeout time.Duration
+	if req.TimeoutMS != nil {
+		if *req.TimeoutMS <= 0 {
+			fail(outcomeBadRequest, http.StatusBadRequest, fmt.Errorf("timeout_ms must be positive, got %d", *req.TimeoutMS))
+			return
+		}
+		timeout = time.Duration(*req.TimeoutMS) * time.Millisecond
+	}
+	if cap := s.opts.MaxTimeout; cap > 0 && (timeout == 0 || timeout > cap) {
+		timeout = cap
+	}
 
-	start := time.Now()
+	// Admission: everything above is cheap, bounded work; execution holds a
+	// slot. Shed responses are deliberately fast 429s with a Retry-After
+	// hint, so overload degrades into quick refusals instead of queueing
+	// collapse.
+	switch s.adm.acquire(r.Context()) {
+	case admitOK:
+	case admitQueueFull:
+		s.met.recordShed(shedQueueFull)
+		w.Header().Set("Retry-After", fmt.Sprint(RetryAfterSeconds))
+		fail(outcomeShed, http.StatusTooManyRequests, fmt.Errorf("server at capacity (admission queue full)"))
+		return
+	case admitQueueTimeout:
+		s.met.recordShed(shedQueueTimeout)
+		w.Header().Set("Retry-After", fmt.Sprint(RetryAfterSeconds))
+		fail(outcomeShed, http.StatusTooManyRequests, fmt.Errorf("server at capacity (queue wait exceeded)"))
+		return
+	case admitCanceled:
+		fail(outcomeCanceled, StatusClientClosedRequest, context.Canceled)
+		return
+	case admitDraining:
+		s.met.recordShed(shedDraining)
+		w.Header().Set("Retry-After", fmt.Sprint(RetryAfterSeconds))
+		fail(outcomeDraining, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
+		return
+	}
+	defer s.adm.release()
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	if h := s.testHookAdmitted; h != nil {
+		h()
+	}
+
+	// The execution context: child of the request context (client
+	// disconnect cancels), hard-cancelable by CancelInFlight (drain-grace
+	// escalation), bounded by the query deadline.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	defer stop()
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	// prepared is deliberately context-free: a cache fill is shared work
+	// (single-flighted across coalesced requests), and letting one
+	// requester's cancellation abort it would poison the entry every waiter
+	// gets. Builds are bounded; deadlines govern execution.
 	prep, cacheState, err := s.prepared(req.SQL, opts)
 	if err != nil {
 		// Unparsable or unplannable SQL is the client's fault; a failure
 		// opening or draining a build-side source is the server's.
-		status := http.StatusInternalServerError
 		var bad *badQueryError
 		if errors.As(err, &bad) {
-			status = http.StatusBadRequest
+			fail(outcomeBadRequest, http.StatusBadRequest, err)
+			return
 		}
-		writeError(w, status, err)
+		fail(outcomeError, http.StatusInternalServerError, err)
 		return
 	}
-	res, err := prep.Execute(opts)
+	res, err := prep.ExecuteContext(ctx, opts)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fail(outcomeTimeout, http.StatusGatewayTimeout, fmt.Errorf("query exceeded its deadline of %v", timeout))
+		case errors.Is(err, context.Canceled):
+			fail(outcomeCanceled, StatusClientClosedRequest, err)
+		default:
+			fail(outcomeError, http.StatusInternalServerError, err)
+		}
 		return
 	}
 	elapsed := time.Since(start)
@@ -263,7 +422,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.last = &LastQueryStats{SQL: req.SQL, Cache: cacheState, ElapsedNS: elapsed.Nanoseconds(), Plan: res.Root}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, QueryResponse{
+	s.writeJSON(w, http.StatusOK, QueryResponse{
 		SQL:         req.SQL,
 		Count:       res.Count,
 		Rows:        res.Rows,
@@ -274,6 +433,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cache:       cacheState,
 		ElapsedNS:   elapsed.Nanoseconds(),
 	})
+	s.met.record(outcomeOK, time.Since(start))
 }
 
 // prepared resolves SQL to a ready-to-probe execution: from the cache when
@@ -330,14 +490,30 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON marshals v before committing any status, so an encoding
+// failure can still produce a well-formed 500 — a second WriteHeader after
+// a partial body write is never issued. Encode and write failures are
+// logged rather than dropped: a persistently failing response path is an
+// operational signal (canceled clients excepted — a 499's writer is gone
+// by definition).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.logf("serve: encoding %T response: %v", v, err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		if _, werr := w.Write([]byte(`{"error":"response encoding failed"}` + "\n")); werr != nil {
+			s.logf("serve: writing error response: %v", werr)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encoding into an in-memory value cannot fail for these types; a
-	// broken connection mid-write is the client's problem.
-	_ = json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		s.logf("serve: writing %d response: %v", status, err)
+	}
 }
