@@ -22,6 +22,7 @@ import (
 	"repro/internal/sqlkit"
 	"repro/internal/summary"
 	"repro/internal/tpcds"
+	"repro/internal/trace"
 )
 
 // BenchRow is one machine-readable benchmark measurement, the row format
@@ -158,6 +159,56 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 		return fmt.Errorf("bench: steady-state dataless query allocates %d objects/op, want 0 (zero-allocation audit)", steadyRow.AllocsPerOp)
 	}
 	rows = append(rows, steadyRow)
+
+	// Tracing overhead on the same steady-state query: identical except
+	// Trace is on, so every operator stamps its Next calls into the recycled
+	// span arena. Value is the fractional ns/op cost over the untraced row —
+	// the E16 target is under 3% — and the zero-allocation audit holds here
+	// too (spans are recycled by Reset, never reallocated).
+	var tst engine.ExecState
+	if _, err := prep.ExecuteIn(&tst, engine.ExecOptions{Trace: true}); err != nil {
+		return err
+	}
+	traced := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.ExecuteIn(&tst, engine.ExecOptions{Trace: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	tracedRow := row("trace_overhead", traced, float64(scanRows))
+	if tracedRow.AllocsPerOp != 0 {
+		return fmt.Errorf("bench: traced steady-state query allocates %d objects/op, want 0 (the span arena must recycle)", tracedRow.AllocsPerOp)
+	}
+	if steadyRow.NsPerOp > 0 {
+		tracedRow.Value = (tracedRow.NsPerOp - steadyRow.NsPerOp) / steadyRow.NsPerOp
+	}
+	rows = append(rows, tracedRow)
+
+	// EXPLAIN ANALYZE end to end: parse the prefixed SQL, plan, execute
+	// traced, render the span tree to text — the whole explain surface as
+	// one per-op number.
+	eaq, err := sqlkit.Parse("EXPLAIN ANALYZE " + sql)
+	if err != nil {
+		return err
+	}
+	eaplan, err := engine.BuildPlan(regen.Schema, eaq)
+	if err != nil {
+		return err
+	}
+	explain := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := engine.Execute(regen, eaplan, engine.ExecOptions{Trace: eaq.Explain})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Trace == nil || trace.Render(res.Trace) == "" {
+				b.Fatal("explain produced no span tree")
+			}
+		}
+	})
+	rows = append(rows, row("explain_analyze", explain, float64(scanRows)))
 
 	// The reference fact-dimension join, fresh (build per execution) vs
 	// prepared (probe over shared arenas): the spread is what the serve

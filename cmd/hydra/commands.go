@@ -249,7 +249,7 @@ func cmdScenario(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment id (E1..E14) or all")
+	exp := fs.String("exp", "all", "experiment id (E1..E16, E15 excepted — see EXPERIMENTS.md) or all")
 	sf := fs.Float64("sf", 1.0, "warehouse scale factor")
 	nq := fs.Int("queries", 131, "workload size")
 	seed := fs.Int64("seed", 7, "seed")
@@ -302,6 +302,9 @@ func cmdBench(args []string) error {
 		{"E12", func() error { return experiments.E12Projection(w, cfg) }},
 		{"E13", func() error { return experiments.E13GroupBy(w, cfg, []int{0, 1, 2, 4, 8}) }},
 		{"E14", func() error { return experiments.E14TopK(w, cfg, []int{1000, 100, 10, 1}) }},
+		// E15 (overload sweep) runs through the loadtest harness and the
+		// bench -json loadtest_* rows, not as a table here.
+		{"E16", func() error { return experiments.E16TraceOverhead(w, cfg) }},
 	}
 	for _, s := range steps {
 		if err := run(s.id, s.fn); err != nil {

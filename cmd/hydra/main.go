@@ -11,8 +11,9 @@
 //	hydra scenario -in pkg.json -factor 1000 [-out scaled.json]
 //	hydra serve    -summary summary.json [-addr :8372] [-parallelism 8] [-rate 0]
 //	               [-max-inflight 16] [-queue 64] [-timeout 30s] [-drain 10s]
+//	               [-trace] [-slow-query 250ms] [-pprof]
 //	hydra loadtest [-url http://127.0.0.1:8372] [-rate 500] [-clients 8] [-duration 5s]
-//	hydra bench    [-exp all|E1|…|E12] [-sf 1] [-queries 131] [-json]
+//	hydra bench    [-exp all|E1|…|E16] [-sf 1] [-queries 131] [-json]
 //
 // All artifacts are JSON; nothing touches a real database — the client
 // warehouse is the built-in synthetic TPC-DS-like generator (or the toy
@@ -73,8 +74,9 @@ commands:
   scenario   scale a client package for what-if analysis and check feasibility
   stats      display a column's metadata (equi-depth histogram, top values)
   serve      serve concurrent SQL queries over HTTP from a loaded summary
+             (EXPLAIN ANALYZE / "explain": true, slow-query log, /metricsz)
   loadtest   drive a running serve instance with a zipfian query mix
-  bench      run the paper's experiments (E1..E11)
+  bench      run the paper's experiments (E1..E16)
 
 run "hydra <command> -h" for command flags.
 `)

@@ -35,6 +35,9 @@ func cmdServe(args []string) error {
 	queueWait := fs.Duration("queue-wait", serve.DefaultQueueWait, "max time a queued query waits before a 429")
 	maxTimeout := fs.Duration("timeout", 30*time.Second, "per-query deadline cap; requests may ask for less via timeout_ms (0 = none)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown grace: how long in-flight queries may finish after SIGINT/SIGTERM")
+	traceAll := fs.Bool("trace", true, "trace every query (feeds per-operator /metricsz histograms and /statsz top operators)")
+	slowQuery := fs.Duration("slow-query", 0, "log queries at or above this latency as structured slow-query records (0 = off)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Parse(args)
 
 	sum, err := readSummary(*in)
@@ -49,6 +52,10 @@ func cmdServe(args []string) error {
 		MaxQueue:    *maxQueue,
 		QueueWait:   *queueWait,
 		MaxTimeout:  *maxTimeout,
+
+		TraceQueries:       *traceAll,
+		SlowQueryThreshold: *slowQuery,
+		EnablePprof:        *pprofOn,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -64,6 +71,9 @@ func cmdServe(args []string) error {
 	fmt.Printf("  GET  %s/healthz\n", *addr)
 	fmt.Printf("  GET  %s/statsz\n", *addr)
 	fmt.Printf("  GET  %s/metricsz\n", *addr)
+	if *pprofOn {
+		fmt.Printf("  GET  %s/debug/pprof/\n", *addr)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

@@ -29,6 +29,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/sqlkit"
 	"repro/internal/summary"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -60,6 +61,12 @@ type (
 	// ExecNode is one operator of an executed plan with its observed
 	// output cardinality.
 	ExecNode = engine.ExecNode
+	// TraceSpan is one operator of a traced execution: wall time, self
+	// time, rows, batches, and bytes, in a tree mirroring the plan.
+	// Executions record spans when ExecOptions.Trace is set — which
+	// Query/QueryContext set automatically for EXPLAIN ANALYZE queries —
+	// and surface the root via ExecResult.Trace.
+	TraceSpan = trace.Span
 
 	// Batch is a reusable fixed-capacity buffer of coded rows, the unit
 	// the batched generation and execution pipelines move tuples in.
@@ -186,12 +193,23 @@ func QueryContext(ctx context.Context, db *Database, sql string, opts ExecOption
 	if err != nil {
 		return nil, err
 	}
+	if q.Explain {
+		// EXPLAIN ANALYZE executes the query it prefixes with per-operator
+		// tracing; the span tree rides back on ExecResult.Trace (render it
+		// with RenderTrace).
+		opts.Trace = true
+	}
 	plan, err := engine.BuildPlan(db.Schema, q)
 	if err != nil {
 		return nil, err
 	}
 	return engine.ExecuteContext(ctx, db, plan, opts)
 }
+
+// RenderTrace draws a traced execution's span tree (ExecResult.Trace) as
+// the EXPLAIN ANALYZE text plan: one line per operator with wall time, self
+// time, rows, batches, and selectivity.
+func RenderTrace(sp *TraceSpan) string { return trace.Render(sp) }
 
 // Prepare parses, plans, and readies one SQL query for repeated execution
 // against db: hash-join build sides are consumed once into shared

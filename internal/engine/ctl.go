@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Cooperative cancellation. Every execution front — Execute, ExecuteRows,
@@ -34,13 +36,17 @@ import (
 // ExecState owns one execCtl for its lifetime and rebinding it to the next
 // call's context writes two words.
 
-// execCtl carries one execution's cancellation state. It is single-
+// execCtl carries one execution's cancellation state and, when the
+// execution is traced (ExecOptions.Trace), its span recorder. It is single-
 // goroutine by construction: the sequential tree shares one, each parallel
 // worker owns one. A nil ctx never stops (the Prepare-time build drain and
-// ctx-free wrappers run uncancellable).
+// ctx-free wrappers run uncancellable); a nil rec records nothing — the
+// untraced hot path pays one nil check per operator Next and allocates
+// nothing, preserving the steady-state contract above.
 type execCtl struct {
 	ctx context.Context
 	err error // first observed ctx error, latched for the execution
+	rec *trace.Recorder
 }
 
 // bind points the control at the next execution's context, clearing any
@@ -65,6 +71,58 @@ func (c *execCtl) stopped() bool {
 		return true
 	}
 	return false
+}
+
+// annotate mirrors a freshly built ExecNode into a trace span when the
+// execution is traced, wiring the children's already-created spans into the
+// tree (openCol builds children first, so they are annotated by the time
+// the parent node exists). Returns nil when tracing is off; iterators store
+// the nil and skip recording on it.
+func (c *execCtl) annotate(node *ExecNode) *trace.Span {
+	if c.rec == nil {
+		return nil
+	}
+	sp := c.rec.NewSpan(node.Op, nodeDetail(node))
+	for _, ch := range node.Children {
+		if ch.sp != nil {
+			sp.Children = append(sp.Children, ch.sp)
+		}
+	}
+	node.sp = sp
+	return sp
+}
+
+// annotateFrozen mirrors a cloned prepared-build ExecNode subtree into
+// spans: cardinalities come from the counts frozen at Prepare time, no wall
+// time is attributed (the drain ran before this execution), and the subtree
+// root is detached from the join's self-time math. This keeps the span tree
+// the same shape whether a join's build side was drained live or served
+// from the build cache.
+func (c *execCtl) annotateFrozen(node *ExecNode) *trace.Span {
+	if c.rec == nil {
+		return nil
+	}
+	for _, ch := range node.Children {
+		c.annotateFrozen(ch)
+	}
+	sp := c.annotate(node)
+	sp.Rows = node.OutRows
+	// The frozen counters are written exactly once (nothing executes in this
+	// subtree), so state-reusing executions must not zero them on Reset.
+	sp.Freeze()
+	return sp
+}
+
+// nodeDetail picks the operator's distinguishing argument for its span.
+func nodeDetail(n *ExecNode) string {
+	switch {
+	case n.PredSQL != "":
+		return n.PredSQL
+	case n.JoinSQL != "":
+		return n.JoinSQL
+	default:
+		return n.Table
+	}
 }
 
 // withTimeout derives the execution deadline from ExecOptions.Timeout: a

@@ -8,11 +8,13 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/trace"
 )
 
 // ExecNode mirrors one plan operator after execution, carrying the observed
 // output cardinality. ExecNode trees are the raw material for annotated
-// query plans.
+// query plans. When the execution is traced, each node also carries its
+// span — same tree, timing view — reachable from ExecResult.Trace.
 type ExecNode struct {
 	Op       string      `json:"op"`
 	Table    string      `json:"table,omitempty"`
@@ -20,6 +22,8 @@ type ExecNode struct {
 	JoinSQL  string      `json:"join,omitempty"`
 	OutRows  int64       `json:"out_rows"`
 	Children []*ExecNode `json:"children,omitempty"`
+
+	sp *trace.Span // span mirror when traced, nil otherwise
 }
 
 // ExecResult is the outcome of executing a plan.
@@ -32,6 +36,10 @@ type ExecResult struct {
 	Count int64
 	// Sample holds up to ExecOptions.SampleLimit of the root's output rows.
 	Sample [][]int64
+	// Trace is the per-operator span tree when the execution ran with
+	// ExecOptions.Trace, nil otherwise. It mirrors Root's shape, with wall
+	// time, rows, batches, and bytes per operator.
+	Trace *trace.Span
 }
 
 // ExecOptions tune execution.
@@ -57,6 +65,14 @@ type ExecOptions struct {
 	// ctx-free wrappers honor it too, so a plain Execute with a Timeout
 	// is self-limiting.
 	Timeout time.Duration
+	// Trace enables per-operator span recording: the result carries a span
+	// tree (ExecResult.Trace) mirroring the annotated plan with wall time,
+	// rows, batches, and bytes per operator. Off (the default), the engine
+	// records nothing and the steady-state zero-allocation contract is
+	// byte-for-byte the untraced one; on, recording writes into spans
+	// preallocated at open time, so even traced ExecuteIn steady state
+	// allocates nothing per query.
+	Trace bool
 }
 
 // ErrInvalidOptions tags ExecOptions validation failures; test with
@@ -140,11 +156,14 @@ func ExecuteRowsContext(ctx context.Context, db *Database, plan *Plan, opts Exec
 	ctx, cancel := withTimeout(ctx, opts.Timeout)
 	defer cancel()
 	ctl := &execCtl{ctx: ctx}
+	if opts.Trace {
+		ctl.rec = trace.NewRecorder(countPlanNodes(plan.Root))
+	}
 	it, width, pop, node, err := openCol(db, plan.Root, rowNeed(plan), opts.BatchSize, nil, nil, ctl)
 	if err != nil {
 		return nil, err
 	}
-	res := &ExecResult{Root: node}
+	res := &ExecResult{Root: node, Trace: node.sp}
 	b := batch.NewCol(width, opts.BatchSize, pop)
 	row := make([]int64, width)
 	agg := plan.countStar()

@@ -3,9 +3,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/pred"
+	"repro/internal/trace"
 )
 
 // The columnar operator set — the engine's only operator implementations.
@@ -89,12 +91,15 @@ func cloneExecNode(n *ExecNode) *ExecNode {
 // execution returns the context's error.
 func executeColumnarFrom(ctx context.Context, db *Database, plan *Plan, opts ExecOptions, ov *scanOverride, builds buildCache) (*ExecResult, error) {
 	ctl := &execCtl{ctx: ctx}
+	if opts.Trace {
+		ctl.rec = trace.NewRecorder(countPlanNodes(plan.Root))
+	}
 	need := rootNeed(plan, opts)
 	it, width, pop, node, err := openCol(db, plan.Root, need, opts.BatchSize, ov, builds, ctl)
 	if err != nil {
 		return nil, err
 	}
-	res := &ExecResult{Root: node}
+	res := &ExecResult{Root: node, Trace: node.sp}
 	b := batch.NewCol(width, opts.BatchSize, pop)
 	runColumnar(ctl, it, b, plan, opts, res)
 	if ctl.err != nil {
@@ -188,6 +193,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		node := &ExecNode{Op: pn.Op.String(), Table: pn.Table}
 		width := len(db.Schema.Table(pn.Table).Columns)
 		s := &colScanIter{table: pn.Table, src: src, proj: asProjector(src, width), cols: need, width: width, node: node, ctl: ctl}
+		s.sp, s.rowBytes = ctl.annotate(node), 8*int64(len(need))
 		return s, width, need, node, nil
 
 	case OpFilter:
@@ -200,7 +206,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		}
 		table := db.Schema.Table(pn.Pred.Table)
 		node := &ExecNode{Op: pn.Op.String(), Table: pn.Pred.Table, PredSQL: pn.Pred.SQL(table), Children: []*ExecNode{childNode}}
-		return &colFilterIter{child: child, m: pn.Pred.Matcher(), node: node}, width, pop, node, nil
+		return &colFilterIter{child: child, m: pn.Pred.Matcher(), node: node, sp: ctl.annotate(node)}, width, pop, node, nil
 
 	case OpHashJoin:
 		cn := pn.childNeeds(need)
@@ -212,10 +218,12 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		var jb *colJoinBuild
 		var buildNode *ExecNode
 		var bw int
+		var buildNS int64
 		if pb, ok := builds[pn]; ok {
 			jb = pb.jb
 			buildNode = cloneExecNode(pb.node)
 			bw = jb.width
+			ctl.annotateFrozen(buildNode)
 		} else {
 			var buildIt colIterator
 			var buildPop []int
@@ -223,7 +231,9 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 			if err != nil {
 				return nil, 0, nil, nil, err
 			}
+			bstart := time.Now()
 			jb = newColJoinBuild(buildIt, bw, pn.RightKey, capRows, buildNeed, buildPop)
+			buildNS = time.Since(bstart).Nanoseconds()
 			if ctl.stopped() {
 				// The drain ended early because the context was done: the
 				// arena is incomplete and the execution is over.
@@ -233,6 +243,14 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		node := &ExecNode{Op: pn.Op.String(), JoinSQL: pn.JoinSQL, Children: []*ExecNode{probeNode, buildNode}}
 		ji := newColHashJoinIter(probe, jb, pw, pn.LeftKey, need, probePop, capRows)
 		ji.node = node
+		if sp := ctl.annotate(node); sp != nil {
+			// The build side drains at open, outside this operator's Next
+			// window: detach it from self-time math and report the drain
+			// wall clock on the join itself.
+			sp.BuildNS = buildNS
+			buildNode.sp.Detached = true
+			ji.sp, ji.rowBytes = sp, 8*int64(len(need))
+		}
 		return ji, pw + bw, need, node, nil
 
 	case OpAggregate:
@@ -241,7 +259,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 			return nil, 0, nil, nil, err
 		}
 		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
-		c := &colCountStarIter{child: child, buf: batch.NewCol(width, capRows, pop), node: node}
+		c := &colCountStarIter{child: child, buf: batch.NewCol(width, capRows, pop), node: node, sp: ctl.annotate(node)}
 		return c, 1, []int{0}, node, nil
 
 	case OpGroupAgg, OpDistinct:
@@ -265,6 +283,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 			node:    node,
 			ctl:     ctl,
 		}
+		g.sp, g.rowBytes = ctl.annotate(node), 8*int64(len(need))
 		return g, len(pn.Items), need, node, nil
 
 	case OpSort:
@@ -285,6 +304,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 			node:    node,
 			ctl:     ctl,
 		}
+		s.sp, s.rowBytes = ctl.annotate(node), 8*int64(len(need))
 		return s, width, need, node, nil
 
 	case OpLimit:
@@ -295,7 +315,7 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 			return nil, 0, nil, nil, err
 		}
 		node := &ExecNode{Op: pn.Op.String(), Children: []*ExecNode{childNode}}
-		l := &colLimitIter{child: child, limit: pn.Limit, offset: pn.Offset, node: node}
+		l := &colLimitIter{child: child, limit: pn.Limit, offset: pn.Offset, node: node, sp: ctl.annotate(node)}
 		return l, width, pop, node, nil
 
 	default:
@@ -350,16 +370,31 @@ func (a *rowColAdapter) NextColBatch(dst *batch.ColBatch, cols []int) bool {
 // build drains, probe pulls — advances only by pulling scan batches, so a
 // single check here stops them all within one batch of the context ending.
 type colScanIter struct {
-	table string
-	src   batch.Source
-	proj  batch.ColProjector
-	cols  []int
-	width int
-	node  *ExecNode
-	ctl   *execCtl
+	table    string
+	src      batch.Source
+	proj     batch.ColProjector
+	cols     []int
+	width    int
+	node     *ExecNode
+	ctl      *execCtl
+	sp       *trace.Span // nil when untraced
+	rowBytes int64       // bytes materialized per output row (populated cols × 8)
 }
 
 func (s *colScanIter) Next(dst *batch.ColBatch) bool {
+	if s.sp == nil {
+		return s.next(dst)
+	}
+	s.sp.Begin()
+	if !s.next(dst) {
+		s.sp.ObserveEmpty()
+		return false
+	}
+	s.sp.Observe(int64(dst.Len()), int64(dst.Len())*s.rowBytes)
+	return true
+}
+
+func (s *colScanIter) next(dst *batch.ColBatch) bool {
 	if s.ctl.stopped() {
 		return false
 	}
@@ -395,9 +430,24 @@ type colFilterIter struct {
 	child colIterator
 	m     *pred.Matcher
 	node  *ExecNode
+	sp    *trace.Span // nil when untraced
 }
 
 func (f *colFilterIter) Next(dst *batch.ColBatch) bool {
+	if f.sp == nil {
+		return f.next(dst)
+	}
+	f.sp.Begin()
+	if !f.next(dst) {
+		f.sp.ObserveEmpty()
+		return false
+	}
+	// The filter moves no row data: rows pass, bytes stay zero.
+	f.sp.Observe(int64(dst.Live()), 0)
+	return true
+}
+
+func (f *colFilterIter) next(dst *batch.ColBatch) bool {
 	for {
 		if !f.child.Next(dst) {
 			return false
@@ -471,6 +521,8 @@ func newColJoinBuild(build colIterator, width, rightKey, capRows int, need, pop 
 type colHashJoinIter struct {
 	probe     colIterator
 	node      *ExecNode
+	sp        *trace.Span // nil when untraced
+	rowBytes  int64       // bytes materialized per output row
 	leftKey   int
 	probeCols int
 	build     *colJoinBuild
@@ -529,6 +581,19 @@ func (h *colHashJoinIter) rewind(db *Database) error {
 func (h *colHashJoinIter) deferredErr() error { return h.probe.deferredErr() }
 
 func (h *colHashJoinIter) Next(dst *batch.ColBatch) bool {
+	if h.sp == nil {
+		return h.next(dst)
+	}
+	h.sp.Begin()
+	if !h.next(dst) {
+		h.sp.ObserveEmpty()
+		return false
+	}
+	h.sp.Observe(int64(dst.Len()), int64(dst.Len())*h.rowBytes)
+	return true
+}
+
+func (h *colHashJoinIter) next(dst *batch.ColBatch) bool {
 	dst.Reset()
 	capRows := dst.Cap()
 	j := 0
@@ -587,10 +652,24 @@ type colCountStarIter struct {
 	child colIterator
 	buf   *batch.ColBatch
 	node  *ExecNode
+	sp    *trace.Span // nil when untraced
 	done  bool
 }
 
 func (c *colCountStarIter) Next(dst *batch.ColBatch) bool {
+	if c.sp == nil {
+		return c.next(dst)
+	}
+	c.sp.Begin()
+	if !c.next(dst) {
+		c.sp.ObserveEmpty()
+		return false
+	}
+	c.sp.Observe(1, 8)
+	return true
+}
+
+func (c *colCountStarIter) next(dst *batch.ColBatch) bool {
 	dst.Reset()
 	if c.done {
 		return false

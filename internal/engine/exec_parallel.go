@@ -4,9 +4,11 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Morsel-driven parallel execution over the columnar spine. Because a
@@ -68,6 +70,9 @@ func executeParallelFrom(ctx context.Context, db *Database, plan *Plan, opts Exe
 	// The open phase (hash-join build drains) runs sequentially under the
 	// caller's context via its own control.
 	ctl := &execCtl{ctx: ctx}
+	if opts.Trace {
+		ctl.rec = trace.NewRecorder(countPlanNodes(plan.Root))
+	}
 	pp, fallback, err := openParallel(db, plan, opts, builds, ctl)
 	if err != nil {
 		return nil, err
@@ -109,6 +114,7 @@ type joinStage struct {
 // top-down through sinks and spine alike.
 type parallelPlan struct {
 	plan *Plan
+	rec  *trace.Recorder // non-nil when the execution is traced
 
 	src      parallel.Source
 	scanNeed []int // projection pushed into each morsel's scan
@@ -251,14 +257,19 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache,
 		}
 	}
 
-	// Real ExecNode tree, mirroring openCol's shape exactly.
+	// Real ExecNode tree, mirroring openCol's shape exactly. Traced
+	// executions annotate every real node with a span: workers record into
+	// private spans and the real ones receive the worker-order merge.
+	pp.rec = ctl.rec
 	pp.scanNode = &ExecNode{Op: OpScan.String(), Table: pn.Table}
+	ctl.annotate(pp.scanNode)
 	width := len(db.Schema.Table(pn.Table).Columns)
 	pp.scanCols = width
 	cur := pp.scanNode
 	if fp := pp.filterPn; fp != nil {
 		table := db.Schema.Table(fp.Pred.Table)
 		pp.filterNode = &ExecNode{Op: OpFilter.String(), Table: fp.Pred.Table, PredSQL: fp.Pred.SQL(table), Children: []*ExecNode{cur}}
+		ctl.annotate(pp.filterNode)
 		cur = pp.filterNode
 	}
 	// Build sides are consumed innermost-first (the order the sequential
@@ -269,22 +280,30 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache,
 		var jb *colJoinBuild
 		var buildNode *ExecNode
 		var bw int
+		var buildNS int64
 		if pb, ok := builds[jpn]; ok {
 			jb = pb.jb
 			buildNode = cloneExecNode(pb.node)
 			bw = jb.width
+			ctl.annotateFrozen(buildNode)
 		} else {
 			buildIt, w, buildPop, bn, err := openCol(db, jpn.Children[1], buildNeeds[i], opts.BatchSize, nil, builds, ctl)
 			if err != nil {
 				return nil, nil, err
 			}
+			bstart := time.Now()
 			jb = newColJoinBuild(buildIt, w, jpn.RightKey, opts.BatchSize, buildNeeds[i], buildPop)
+			buildNS = time.Since(bstart).Nanoseconds()
 			if ctl.stopped() {
 				return nil, nil, ctl.err
 			}
 			buildNode, bw = bn, w
 		}
 		node := &ExecNode{Op: OpHashJoin.String(), JoinSQL: jpn.JoinSQL, Children: []*ExecNode{cur, buildNode}}
+		if sp := ctl.annotate(node); sp != nil {
+			sp.BuildNS = buildNS
+			buildNode.sp.Detached = true
+		}
 		pp.stages = append(pp.stages, joinStage{
 			jb:        jb,
 			leftKey:   jpn.LeftKey,
@@ -301,6 +320,7 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache,
 	pp.sinkNodes = make([]*ExecNode, len(pp.sinks))
 	for i := len(pp.sinks) - 1; i >= 0; i-- {
 		node := &ExecNode{Op: pp.sinks[i].Op.String(), Children: []*ExecNode{cur}}
+		ctl.annotate(node)
 		pp.sinkNodes[i] = node
 		cur = node
 	}
@@ -397,6 +417,23 @@ func (pp *parallelPlan) run(ctx context.Context, workers int, opts ExecOptions) 
 		}
 	}
 
+	// Traced runs give each worker private spans for its spine pipeline,
+	// created here (the recorder is not concurrency-safe) and folded into
+	// the real nodes' spans after the pool joins — in worker order, so the
+	// merged trace is deterministic. Positions follow spineNodes order.
+	spine := pp.spineNodes()
+	var wspans [][]*trace.Span
+	if pp.rec != nil {
+		wspans = make([][]*trace.Span, workers)
+		for w := range wspans {
+			spans := make([]*trace.Span, len(spine))
+			for i, node := range spine {
+				spans[i] = pp.rec.NewSpan(node.Op, "")
+			}
+			wspans[w] = spans
+		}
+	}
+
 	err := parallel.RunCtx(ctx, workers, func(wctx context.Context, w int) error {
 		st := states[w]
 		// Each worker owns its cancellation control (latching is
@@ -407,11 +444,18 @@ func (pp *parallelPlan) run(ctx context.Context, workers int, opts ExecOptions) 
 		scanShadow := &ExecNode{}
 		st.shadow = append(st.shadow, scanShadow)
 		scanIt := &colScanIter{cols: pp.scanNeed, width: pp.scanCols, node: scanShadow, ctl: wctl}
+		if wspans != nil {
+			scanIt.sp, scanIt.rowBytes = wspans[w][0], 8*int64(len(pp.scanNeed))
+		}
 		var cur colIterator = scanIt
 		if fp := pp.filterPn; fp != nil {
 			filterShadow := &ExecNode{}
 			st.shadow = append(st.shadow, filterShadow)
-			cur = &colFilterIter{child: cur, m: fp.Pred.Matcher(), node: filterShadow}
+			fi := &colFilterIter{child: cur, m: fp.Pred.Matcher(), node: filterShadow}
+			if wspans != nil {
+				fi.sp = wspans[w][1]
+			}
+			cur = fi
 		}
 		joinIts := make([]*colHashJoinIter, len(pp.stages))
 		for i := range pp.stages {
@@ -420,6 +464,9 @@ func (pp *parallelPlan) run(ctx context.Context, workers int, opts ExecOptions) 
 			st.shadow = append(st.shadow, joinShadow)
 			ji := newColHashJoinIter(cur, stage.jb, stage.probeCols, stage.leftKey, stage.outNeed, stage.probePop, opts.BatchSize)
 			ji.node = joinShadow
+			if wspans != nil {
+				ji.sp, ji.rowBytes = wspans[w][len(st.shadow)-1], 8*int64(len(stage.outNeed))
+			}
 			joinIts[i] = ji
 			cur = ji
 		}
@@ -472,21 +519,26 @@ func (pp *parallelPlan) run(ctx context.Context, workers int, opts ExecOptions) 
 
 	// Deterministic merge: per-node sums are schedule-independent, sink
 	// partials fold in worker order, and output runs reassemble in morsel
-	// (= sequential row) order.
-	spine := pp.spineNodes()
+	// (= sequential row) order. Traced runs fold worker spans into the real
+	// nodes' spans the same way — summed durations, widened windows.
 	for i, node := range spine {
 		var sum int64
 		for _, st := range states {
 			sum += st.shadow[i].OutRows
 		}
 		node.OutRows = sum
+		if node.sp != nil {
+			for _, spans := range wspans {
+				node.sp.Merge(spans[i])
+			}
+		}
 	}
 	var outRows int64
 	for _, st := range states {
 		outRows += st.rows
 	}
 
-	res := &ExecResult{Root: pp.root}
+	res := &ExecResult{Root: pp.root, Trace: pp.root.sp}
 	switch {
 	case bottom == nil:
 		res.Rows = outRows
@@ -506,7 +558,13 @@ func (pp *parallelPlan) run(ctx context.Context, workers int, opts ExecOptions) 
 		}
 		res.Rows = em
 		res.Sample = mergedRunRows(states, bottom.Offset, em, opts.SampleLimit)
-		pp.sinkNodes[len(pp.sinks)-1].OutRows = em
+		limitNode := pp.sinkNodes[len(pp.sinks)-1]
+		limitNode.OutRows = em
+		if limitNode.sp != nil {
+			// No operator ran for the arithmetic LIMIT; mirror its
+			// cardinality into the span so traced shapes stay mode-invariant.
+			limitNode.sp.Rows = em
+		}
 		pp.root.OutRows = res.Rows
 		return res, nil
 	}
@@ -534,21 +592,26 @@ func (pp *parallelPlan) run(ctx context.Context, workers int, opts ExecOptions) 
 	merged.finish()
 
 	bi := len(pp.sinks) - 1
-	var cur colIterator = &stateEmitIter{st: merged, outCols: pp.sinkNeeds[bi], node: pp.sinkNodes[bi]}
+	var cur colIterator = &stateEmitIter{
+		st: merged, outCols: pp.sinkNeeds[bi], node: pp.sinkNodes[bi],
+		sp: pp.sinkNodes[bi].sp, rowBytes: 8 * int64(len(pp.sinkNeeds[bi])),
+	}
 	for i := bi - 1; i >= 0; i-- {
 		sn := pp.sinks[i]
 		childW := pp.sinkWidth(i + 1)
 		switch sn.Op {
 		case OpSort:
 			cur = &colSinkIter{
-				child:   cur,
-				buf:     batch.NewCol(childW, opts.BatchSize, pp.sinkNeeds[i+1]),
-				st:      newSortState(sn, pp.sinkNeeds[i+1], childW),
-				outCols: pp.sinkNeeds[i],
-				node:    pp.sinkNodes[i],
+				child:    cur,
+				buf:      batch.NewCol(childW, opts.BatchSize, pp.sinkNeeds[i+1]),
+				st:       newSortState(sn, pp.sinkNeeds[i+1], childW),
+				outCols:  pp.sinkNeeds[i],
+				node:     pp.sinkNodes[i],
+				sp:       pp.sinkNodes[i].sp,
+				rowBytes: 8 * int64(len(pp.sinkNeeds[i])),
 			}
 		case OpLimit:
-			cur = &colLimitIter{child: cur, limit: sn.Limit, offset: sn.Offset, node: pp.sinkNodes[i]}
+			cur = &colLimitIter{child: cur, limit: sn.Limit, offset: sn.Offset, node: pp.sinkNodes[i], sp: pp.sinkNodes[i].sp}
 		}
 	}
 	b := batch.NewCol(pp.sinkWidth(0), opts.BatchSize, pp.sinkNeeds[0])

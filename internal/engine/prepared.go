@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/batch"
+	"repro/internal/trace"
 )
 
 // Prepared is a plan readied for repeated execution against one database:
@@ -17,9 +18,10 @@ import (
 // are immutable after Prepare, and a canceled execution abandons only its
 // private probe state.
 type Prepared struct {
-	db     *Database
-	plan   *Plan
-	builds buildCache
+	db      *Database
+	plan    *Plan
+	builds  buildCache
+	spanCap int // span-arena capacity a traced execution needs, sized here
 }
 
 // Plan returns the compiled plan the Prepared executes.
@@ -37,7 +39,7 @@ func Prepare(db *Database, plan *Plan, opts ExecOptions) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{db: db, plan: plan, builds: make(buildCache)}
+	p := &Prepared{db: db, plan: plan, builds: make(buildCache), spanCap: countPlanNodes(plan.Root)}
 	if err := p.prepareNode(plan.Root, opts.BatchSize); err != nil {
 		return nil, err
 	}
@@ -146,6 +148,15 @@ func (p *Prepared) ExecuteInContext(ctx context.Context, st *ExecState, opts Exe
 	opts.Parallelism = 0
 	st.ctl.bind(ctx)
 	if !st.valid || st.opts != opts {
+		// Trace participates in the reuse key: flipping it rebuilds the tree
+		// once, with spans drawn from an arena sized at Prepare time. After
+		// that, traced steady state recycles spans via Reset exactly as the
+		// untraced path recycles batches — zero allocations either way.
+		if opts.Trace {
+			st.ctl.rec = trace.NewRecorder(p.spanCap)
+		} else {
+			st.ctl.rec = nil
+		}
 		need := rootNeed(p.plan, opts)
 		it, width, pop, node, err := openCol(p.db, p.plan.Root, need, opts.BatchSize, nil, p.builds, &st.ctl)
 		if err != nil {
@@ -153,11 +164,16 @@ func (p *Prepared) ExecuteInContext(ctx context.Context, st *ExecState, opts Exe
 		}
 		st.it = it
 		st.b = batch.NewCol(width, opts.BatchSize, pop)
-		st.res = ExecResult{Root: node}
+		st.res = ExecResult{Root: node, Trace: node.sp}
 		st.opts = opts
 		st.valid = true
-	} else if err := st.it.rewind(p.db); err != nil {
-		return nil, err
+	} else {
+		if st.ctl.rec != nil {
+			st.ctl.rec.Reset()
+		}
+		if err := st.it.rewind(p.db); err != nil {
+			return nil, err
+		}
 	}
 	st.res.Rows, st.res.Count = 0, 0
 	st.res.Sample = nil

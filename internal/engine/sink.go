@@ -2,6 +2,7 @@ package engine
 
 import (
 	"repro/internal/batch"
+	"repro/internal/trace"
 )
 
 // The sink framework: every blocking root operator — grouped aggregation,
@@ -48,18 +49,36 @@ type sinkState interface {
 // state's deterministic output. OpGroupAgg, OpDistinct (both groupAggState),
 // and OpSort (sortState) are this operator with different states.
 type colSinkIter struct {
-	child   colIterator
-	buf     *batch.ColBatch // child output drain batch
-	st      sinkState
-	outCols []int // output columns the caller materializes
-	node    *ExecNode
-	ctl     *execCtl // nil = uncancellable (parallel merge emission)
+	child    colIterator
+	buf      *batch.ColBatch // child output drain batch
+	st       sinkState
+	outCols  []int // output columns the caller materializes
+	node     *ExecNode
+	ctl      *execCtl    // nil = uncancellable (parallel merge emission)
+	sp       *trace.Span // nil when untraced
+	rowBytes int64       // bytes materialized per emitted row
 
 	drained bool
 	pos     int // next output row to emit
 }
 
 func (g *colSinkIter) Next(dst *batch.ColBatch) bool {
+	if g.sp == nil {
+		return g.next(dst)
+	}
+	// The first traced Next covers the whole child drain, so the sink's
+	// inclusive time is dominated by its children; emit batches account for
+	// the sink's own output.
+	g.sp.Begin()
+	if !g.next(dst) {
+		g.sp.ObserveEmpty()
+		return false
+	}
+	g.sp.Observe(int64(dst.Live()), int64(dst.Live())*g.rowBytes)
+	return true
+}
+
+func (g *colSinkIter) next(dst *batch.ColBatch) bool {
 	dst.Reset()
 	if !g.drained {
 		for g.child.Next(g.buf) {
@@ -107,13 +126,28 @@ func (g *colSinkIter) deferredErr() error {
 // code, not a reimplementation. It is single-shot: the merged state is not
 // re-drainable.
 type stateEmitIter struct {
-	st      sinkState
-	outCols []int
-	node    *ExecNode
-	pos     int
+	st       sinkState
+	outCols  []int
+	node     *ExecNode
+	sp       *trace.Span // nil when untraced
+	rowBytes int64
+	pos      int
 }
 
 func (e *stateEmitIter) Next(dst *batch.ColBatch) bool {
+	if e.sp == nil {
+		return e.next(dst)
+	}
+	e.sp.Begin()
+	if !e.next(dst) {
+		e.sp.ObserveEmpty()
+		return false
+	}
+	e.sp.Observe(int64(dst.Live()), int64(dst.Live())*e.rowBytes)
+	return true
+}
+
+func (e *stateEmitIter) next(dst *batch.ColBatch) bool {
 	dst.Reset()
 	if e.st.deferredErr() != nil {
 		return false
@@ -172,12 +206,27 @@ type colLimitIter struct {
 	child         colIterator
 	limit, offset int64
 	node          *ExecNode
+	sp            *trace.Span // nil when untraced
 
 	seen    int64 // live child rows seen so far
 	emitted int64 // rows passed downstream so far
 }
 
 func (l *colLimitIter) Next(dst *batch.ColBatch) bool {
+	if l.sp == nil {
+		return l.next(dst)
+	}
+	l.sp.Begin()
+	if !l.next(dst) {
+		l.sp.ObserveEmpty()
+		return false
+	}
+	// Pure selection arithmetic: rows pass, no bytes move.
+	l.sp.Observe(int64(dst.Live()), 0)
+	return true
+}
+
+func (l *colLimitIter) next(dst *batch.ColBatch) bool {
 	for {
 		if !l.child.Next(dst) {
 			return false

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/toy"
+	"repro/internal/trace"
+)
+
+// postQueryReq posts an arbitrary QueryRequest with optional headers and
+// decodes the response.
+func postQueryReq(t *testing.T, url string, req QueryRequest, hdr map[string]string) (*http.Response, QueryResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hr, err := http.NewRequest(http.MethodPost, url+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hr.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, qr
+}
+
+// TestServeExplain pins the explain surface: "explain": true returns the
+// span tree as JSON plus rendered text, the tree mirrors the plan's shape
+// with per-operator rows, and the same query without explain carries no
+// trace. An EXPLAIN ANALYZE SQL prefix is the equivalent spelling.
+func TestServeExplain(t *testing.T) {
+	sum := buildToySummary(t)
+	ts := httptest.NewServer(New(sum, Options{SampleLimit: 2}).Handler())
+	defer ts.Close()
+
+	sql := toy.Workload()[1]
+	resp, qr := postQueryReq(t, ts.URL, QueryRequest{SQL: sql, Explain: true}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain query status %d", resp.StatusCode)
+	}
+	if qr.Trace == nil || qr.TraceText == "" {
+		t.Fatalf("explain response missing trace: trace=%v text=%q", qr.Trace, qr.TraceText)
+	}
+	// The span tree mirrors the annotated plan: same ops, same shape, same
+	// per-operator cardinalities.
+	var spOps, planOps []string
+	var spRows, planRows []int64
+	trace.Walk(qr.Trace, func(sp *trace.Span) {
+		spOps = append(spOps, sp.Op)
+		spRows = append(spRows, sp.Rows)
+	})
+	collectPlan(qr.Plan, &planOps, &planRows)
+	if len(spOps) != len(planOps) {
+		t.Fatalf("span tree has %d nodes, plan has %d", len(spOps), len(planOps))
+	}
+	for i := range spOps {
+		if spOps[i] != planOps[i] {
+			t.Fatalf("span[%d] op %q, plan op %q", i, spOps[i], planOps[i])
+		}
+		if spRows[i] != planRows[i] {
+			t.Fatalf("span[%d] (%s) rows %d, plan out_rows %d", i, spOps[i], spRows[i], planRows[i])
+		}
+	}
+	if qr.Trace.DurNS <= 0 || qr.Trace.Batches <= 0 {
+		t.Fatalf("root span not timed: %+v", qr.Trace)
+	}
+	for _, op := range spOps {
+		if !strings.Contains(qr.TraceText, op) {
+			t.Fatalf("trace_text missing op %s:\n%s", op, qr.TraceText)
+		}
+	}
+
+	// EXPLAIN ANALYZE in the SQL itself is the same request.
+	resp, qr2 := postQueryReq(t, ts.URL, QueryRequest{SQL: "EXPLAIN ANALYZE " + sql}, nil)
+	if resp.StatusCode != http.StatusOK || qr2.Trace == nil {
+		t.Fatalf("EXPLAIN ANALYZE prefix: status %d trace %v", resp.StatusCode, qr2.Trace)
+	}
+	if qr2.Rows != qr.Rows || qr2.Count != qr.Count {
+		t.Fatalf("EXPLAIN ANALYZE answer drifted: %d/%d vs %d/%d", qr2.Rows, qr2.Count, qr.Rows, qr.Count)
+	}
+
+	// Without explain: same answer, no trace in the body.
+	resp, qr3 := postQueryReq(t, ts.URL, QueryRequest{SQL: sql}, nil)
+	if resp.StatusCode != http.StatusOK || qr3.Trace != nil || qr3.TraceText != "" {
+		t.Fatalf("untraced response carries trace: %v %q", qr3.Trace, qr3.TraceText)
+	}
+	if qr3.Count != qr.Count {
+		t.Fatalf("explain changed the answer: %d vs %d", qr.Count, qr3.Count)
+	}
+}
+
+// tracePlanNode mirrors the op/out_rows/children fields of the plan JSON.
+type tracePlanNode struct {
+	Op       string           `json:"op"`
+	OutRows  int64            `json:"out_rows"`
+	Children []*tracePlanNode `json:"children"`
+}
+
+// collectPlan flattens the response plan tree in preorder.
+func collectPlan(n any, ops *[]string, rows *[]int64) {
+	data, _ := json.Marshal(n)
+	var pn tracePlanNode
+	if err := json.Unmarshal(data, &pn); err != nil {
+		return
+	}
+	var walk func(p *tracePlanNode)
+	walk = func(p *tracePlanNode) {
+		*ops = append(*ops, p.Op)
+		*rows = append(*rows, p.OutRows)
+		for _, ch := range p.Children {
+			walk(ch)
+		}
+	}
+	walk(&pn)
+}
+
+// TestServeRequestID pins request-ID propagation: a client-supplied
+// X-Request-Id is echoed in header and body; absent one, the server assigns
+// sequential q-N IDs.
+func TestServeRequestID(t *testing.T) {
+	sum := buildToySummary(t)
+	ts := httptest.NewServer(New(sum, Options{SampleLimit: 2}).Handler())
+	defer ts.Close()
+
+	sql := toy.Workload()[0]
+	resp, qr := postQueryReq(t, ts.URL, QueryRequest{SQL: sql}, map[string]string{"X-Request-Id": "req-abc"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "req-abc" {
+		t.Fatalf("header request id = %q, want req-abc", got)
+	}
+	if qr.RequestID != "req-abc" {
+		t.Fatalf("body request id = %q, want req-abc", qr.RequestID)
+	}
+
+	resp, qr = postQueryReq(t, ts.URL, QueryRequest{SQL: sql}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if qr.RequestID != "q-1" || resp.Header.Get("X-Request-Id") != "q-1" {
+		t.Fatalf("assigned request id = %q / %q, want q-1", qr.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+	if _, qr = postQueryReq(t, ts.URL, QueryRequest{SQL: sql}, nil); qr.RequestID != "q-2" {
+		t.Fatalf("second assigned request id = %q, want q-2", qr.RequestID)
+	}
+}
+
+// TestServeSlowQueryLog pins the structured slow-query log: a query over
+// the threshold emits one slog record carrying the request ID, SQL, cache
+// disposition, and (traced) the top operators by self time; under the
+// threshold nothing is logged.
+func TestServeSlowQueryLog(t *testing.T) {
+	sum := buildToySummary(t)
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	srv := New(sum, Options{
+		SampleLimit:        2,
+		TraceQueries:       true,
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		Logger:             logger,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sql := toy.Workload()[1]
+	if resp, _ := postQueryReq(t, ts.URL, QueryRequest{SQL: sql}, map[string]string{"X-Request-Id": "slow-1"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	line := buf.String()
+	if line == "" {
+		t.Fatal("no slow-query record emitted")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(line, "\n", 2)[0]), &rec); err != nil {
+		t.Fatalf("slow-query record is not JSON: %v\n%s", err, line)
+	}
+	if rec["msg"] != "slow query" || rec["request_id"] != "slow-1" || rec["sql"] != sql {
+		t.Fatalf("slow-query record = %v", rec)
+	}
+	if rec["cache"] != "miss" {
+		t.Fatalf("slow-query cache = %v, want miss", rec["cache"])
+	}
+	topOps, _ := rec["top_ops"].(string)
+	if topOps == "" || !strings.Contains(topOps, "=") {
+		t.Fatalf("slow-query top_ops = %q", topOps)
+	}
+
+	// Threshold high: silence.
+	var quiet bytes.Buffer
+	srv2 := New(sum, Options{
+		SampleLimit:        2,
+		SlowQueryThreshold: time.Hour,
+		Logger:             slog.New(slog.NewJSONHandler(&quiet, nil)),
+	})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if resp, _ := postQueryReq(t, ts2.URL, QueryRequest{SQL: sql}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if quiet.Len() != 0 {
+		t.Fatalf("fast query logged as slow: %s", quiet.String())
+	}
+}
+
+// TestServeObservabilityMetrics pins the new /metricsz series: per-operator
+// self-time histograms (advanced by traced queries), engine counters,
+// runtime gauges, and build info.
+func TestServeObservabilityMetrics(t *testing.T) {
+	sum := buildToySummary(t)
+	srv := New(sum, Options{SampleLimit: 2, TraceQueries: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sql := toy.Workload()[1]
+	if resp, _ := postQueryReq(t, ts.URL, QueryRequest{SQL: sql}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+
+	for _, want := range []string{
+		`hydra_operator_self_seconds_bucket{op="SCAN"`,
+		`hydra_operator_self_seconds_count{op="SCAN"}`,
+		"hydra_engine_rows_generated_total",
+		"hydra_engine_result_rows_total",
+		"hydra_engine_batches_total",
+		"hydra_plan_cache_build_seconds_total",
+		"hydra_goroutines",
+		"hydra_gc_pause_seconds_total",
+		"hydra_heap_inuse_bytes",
+		"hydra_build_info{version=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metricsz missing %q", want)
+		}
+	}
+	// A traced query advanced the SCAN histogram and the engine counters.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `hydra_operator_self_seconds_count{op="SCAN"}`) {
+			if strings.HasSuffix(line, " 0") {
+				t.Fatalf("SCAN self-time histogram not advanced: %s", line)
+			}
+		}
+		if strings.HasPrefix(line, "hydra_engine_rows_generated_total") {
+			if strings.HasSuffix(line, " 0") {
+				t.Fatalf("rows-generated counter not advanced: %s", line)
+			}
+		}
+	}
+}
+
+// TestServePprofGate pins that /debug/pprof is absent by default and
+// mounted under Options.EnablePprof.
+func TestServePprofGate(t *testing.T) {
+	sum := buildToySummary(t)
+
+	off := httptest.NewServer(New(sum, Options{}).Handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without EnablePprof: %d", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(New(sum, Options{EnablePprof: true}).Handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "goroutine") {
+		t.Fatalf("pprof index: status %d body %.80s", resp.StatusCode, data)
+	}
+}

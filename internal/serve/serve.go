@@ -15,15 +15,28 @@
 // Endpoints:
 //
 //	POST /query    {"sql": "SELECT COUNT(*) FROM ...", "batch_size": 512,
-//	                "parallelism": 4, "timeout_ms": 250} →
-//	               {"count", "rows", "sample", "plan", "cache", "elapsed_ns", ...}
+//	                "parallelism": 4, "timeout_ms": 250, "explain": true} →
+//	               {"count", "rows", "sample", "plan", "cache", "elapsed_ns",
+//	                "request_id", "trace", "trace_text", ...}
 //	GET  /healthz  {"status": "ok", "tables": N, "cache": {...}, ...}
-//	GET  /statsz   {"cache": {...}, "last_query": {"sql", "cache",
-//	               "elapsed_ns", "plan"}} — plan-cache effectiveness plus the
-//	               last query's per-operator ExecNode counters
+//	GET  /statsz   {"cache": {...}, "recent": [...]} — plan-cache
+//	               effectiveness plus a ring of the last 32 completed
+//	               queries (SQL, cache disposition, elapsed, top operator)
 //	GET  /metricsz Prometheus text exposition: in-flight/queued gauges,
 //	               per-outcome request counters and latency histograms,
-//	               shed counters by reason
+//	               shed counters by reason, per-operator self-time
+//	               histograms, engine counters, runtime gauges, build info
+//
+// Observability: every request carries a request ID (the client's
+// X-Request-Id when present, else a server-assigned "q-N"), echoed in the
+// response header and body and attached to the structured slow-query log
+// (log/slog) that fires when a query's latency crosses
+// Options.SlowQueryThreshold. A request with "explain": true — or SQL
+// prefixed EXPLAIN ANALYZE — executes with per-operator tracing and the
+// response carries the span tree as JSON plus its rendered text form.
+// Options.TraceQueries traces every query (feeding the per-operator
+// /metricsz histograms) at a few percent overhead; Options.EnablePprof
+// mounts net/http/pprof under /debug/pprof/.
 //
 // The server survives overload by construction (admission.go): at most
 // MaxInFlight queries execute, a bounded queue absorbs bursts, and the
@@ -45,16 +58,19 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"mime"
 	"net/http"
+	"net/http/pprof"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/sqlkit"
 	"repro/internal/summary"
+	"repro/internal/trace"
 )
 
 // Options configure the server.
@@ -95,6 +111,23 @@ type Options struct {
 	// Logf receives diagnostic messages (response-write failures and the
 	// like); nil selects the stdlib logger.
 	Logf func(format string, args ...any)
+
+	// TraceQueries executes every query with per-operator tracing, feeding
+	// the /metricsz self-time histograms and the /statsz top-operator
+	// column. Tracing costs a few percent on the hottest queries (the spans
+	// are preallocated and recycled — no per-query allocation); with it off,
+	// only explain requests trace.
+	TraceQueries bool
+	// SlowQueryThreshold, when positive, emits a structured slog record for
+	// every query whose total latency meets or exceeds it: request ID, SQL,
+	// elapsed time, cache disposition, and (when traced) the top 3 operators
+	// by self time. Zero disables the slow-query log.
+	SlowQueryThreshold time.Duration
+	// Logger receives slow-query records; nil selects slog.Default().
+	Logger *slog.Logger
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/ on
+	// the server's handler — CPU and heap profiles over the same listener.
+	EnablePprof bool
 }
 
 // Server serves queries against one summary's dataless database.
@@ -106,6 +139,7 @@ type Server struct {
 	adm   *admission
 	met   *metrics
 	logf  func(format string, args ...any)
+	slog  *slog.Logger
 
 	// hardCtx is canceled by CancelInFlight: every in-flight query's
 	// context is a child of the request context AND this one (via
@@ -114,8 +148,11 @@ type Server struct {
 	hardCtx    context.Context
 	hardCancel context.CancelFunc
 
-	mu   sync.Mutex
-	last *LastQueryStats // most recently completed query, for GET /statsz
+	// ring remembers the last QueryRingSize completed queries for
+	// GET /statsz; reqSeq numbers requests that arrive without an
+	// X-Request-Id of their own.
+	ring   queryRing
+	reqSeq atomic.Int64
 
 	// testHookAdmitted, when set, runs after a request is admitted (slot
 	// held) and before execution — the seam deterministic overload tests
@@ -129,6 +166,10 @@ func New(sum *summary.Database, opts Options) *Server {
 	if logf == nil {
 		logf = log.Printf
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	hardCtx, hardCancel := context.WithCancel(context.Background())
 	return &Server{
 		sum:        sum,
@@ -138,6 +179,7 @@ func New(sum *summary.Database, opts Options) *Server {
 		adm:        newAdmission(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait),
 		met:        newMetrics(),
 		logf:       logf,
+		slog:       logger,
 		hardCtx:    hardCtx,
 		hardCancel: hardCancel,
 	}
@@ -173,6 +215,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/statsz", s.handleStats)
 	mux.HandleFunc("/metricsz", s.handleMetrics)
+	if s.opts.EnablePprof {
+		// The stdlib pprof handlers register themselves on DefaultServeMux
+		// only; mounting them here keeps profiling on the server's own
+		// handler (and off by default — profiles expose internals).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -189,6 +241,11 @@ type QueryRequest struct {
 	// expires and the request fails with 504. Clamped from above by the
 	// server's MaxTimeout; must be positive when present.
 	TimeoutMS *int64 `json:"timeout_ms,omitempty"`
+	// Explain executes the query with per-operator tracing and returns the
+	// span tree in the response ("trace" as JSON, "trace_text" rendered) —
+	// the HTTP spelling of EXPLAIN ANALYZE (an EXPLAIN ANALYZE prefix on the
+	// SQL itself has the same effect).
+	Explain bool `json:"explain,omitempty"`
 }
 
 // QueryResponse is the POST /query reply: the COUNT value (for COUNT(*)
@@ -198,6 +255,7 @@ type QueryRequest struct {
 // timing.
 type QueryResponse struct {
 	SQL         string           `json:"sql"`
+	RequestID   string           `json:"request_id,omitempty"`
 	Count       int64            `json:"count"`
 	Rows        int64            `json:"rows"`
 	Sample      [][]int64        `json:"sample,omitempty"`
@@ -206,6 +264,11 @@ type QueryResponse struct {
 	BatchSize   int              `json:"batch_size,omitempty"`
 	Cache       string           `json:"cache,omitempty"`
 	ElapsedNS   int64            `json:"elapsed_ns"`
+	// Trace is the per-operator span tree (wall time, self time, rows,
+	// batches, bytes) and TraceText its rendered text form; both are present
+	// only when the request asked for explain.
+	Trace     *trace.Span `json:"trace,omitempty"`
+	TraceText string      `json:"trace_text,omitempty"`
 }
 
 // HealthResponse is the GET /healthz reply.
@@ -217,21 +280,10 @@ type HealthResponse struct {
 }
 
 // StatsResponse is the GET /statsz reply: plan/build-cache effectiveness
-// plus the per-operator ExecNode counters of the most recently completed
-// query.
+// plus the ring of the last QueryRingSize completed queries, newest first.
 type StatsResponse struct {
-	Cache     CacheStats      `json:"cache"`
-	LastQuery *LastQueryStats `json:"last_query,omitempty"`
-}
-
-// LastQueryStats snapshots the last query the server executed
-// successfully: its SQL, how the cache served it, timing, and the
-// cardinality-annotated operator tree (per-operator OutRows counters).
-type LastQueryStats struct {
-	SQL       string           `json:"sql"`
-	Cache     string           `json:"cache,omitempty"`
-	ElapsedNS int64            `json:"elapsed_ns"`
-	Plan      *engine.ExecNode `json:"plan"`
+	Cache  CacheStats     `json:"cache"`
+	Recent []QuerySummary `json:"recent,omitempty"`
 }
 
 // handleStats serves GET /statsz with the same 405 + Allow pinning as the
@@ -242,10 +294,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	s.mu.Lock()
-	last := s.last
-	s.mu.Unlock()
-	s.writeJSON(w, http.StatusOK, StatsResponse{Cache: s.cache.stats(), LastQuery: last})
+	s.writeJSON(w, http.StatusOK, StatsResponse{Cache: s.cache.stats(), Recent: s.ring.snapshot()})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -312,10 +361,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(outcomeBadRequest, http.StatusBadRequest, fmt.Errorf("request has no sql"))
 		return
 	}
+	// Every query gets a request ID — the client's X-Request-Id when it sent
+	// one, else a server-assigned sequence number — echoed in the response
+	// header and body and attached to the slow-query log, so one slow request
+	// can be chased across client logs, server logs, and /statsz.
+	requestID := r.Header.Get("X-Request-Id")
+	if requestID == "" {
+		requestID = fmt.Sprintf("q-%d", s.reqSeq.Add(1))
+	}
+	w.Header().Set("X-Request-Id", requestID)
+	// An explain request (the JSON field or an EXPLAIN ANALYZE SQL prefix)
+	// always traces; TraceQueries traces everything else too, feeding the
+	// per-operator /metricsz histograms.
+	explain := req.Explain || hasExplainPrefix(req.SQL)
 	opts := engine.ExecOptions{
 		SampleLimit: s.opts.SampleLimit,
 		BatchSize:   s.opts.BatchSize,
 		Parallelism: s.opts.Parallelism,
+		Trace:       explain || s.opts.TraceQueries,
 	}
 	if req.BatchSize != nil {
 		opts.BatchSize = *req.BatchSize
@@ -417,13 +480,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	elapsed := time.Since(start)
-	// Each execution materializes a fresh annotated tree (cached builds are
-	// cloned per execution), so retaining the pointer for /statsz is safe.
-	s.mu.Lock()
-	s.last = &LastQueryStats{SQL: req.SQL, Cache: cacheState, ElapsedNS: elapsed.Nanoseconds(), Plan: res.Root}
-	s.mu.Unlock()
-	s.writeJSON(w, http.StatusOK, QueryResponse{
+	s.met.observeQuery(res, elapsed)
+	topOp := res.Root.Op
+	if res.Trace != nil {
+		if tops := trace.TopSelf(res.Trace, 1); len(tops) > 0 {
+			topOp = tops[0].Op
+		}
+	}
+	s.ring.add(QuerySummary{
+		SQL:       req.SQL,
+		RequestID: requestID,
+		Cache:     cacheState,
+		ElapsedNS: elapsed.Nanoseconds(),
+		Rows:      res.Rows,
+		TopOp:     topOp,
+	})
+	if thr := s.opts.SlowQueryThreshold; thr > 0 && elapsed >= thr {
+		attrs := []any{
+			slog.String("request_id", requestID),
+			slog.String("sql", req.SQL),
+			slog.Duration("elapsed", elapsed),
+			slog.String("cache", cacheState),
+		}
+		if res.Trace != nil {
+			tops := trace.TopSelf(res.Trace, 3)
+			parts := make([]string, len(tops))
+			for i, sp := range tops {
+				parts[i] = fmt.Sprintf("%s=%s", sp.Op, time.Duration(sp.SelfNS()))
+			}
+			attrs = append(attrs, slog.String("top_ops", strings.Join(parts, ",")))
+		}
+		s.slog.Warn("slow query", attrs...)
+	}
+	resp := QueryResponse{
 		SQL:         req.SQL,
+		RequestID:   requestID,
 		Count:       res.Count,
 		Rows:        res.Rows,
 		Sample:      res.Sample,
@@ -432,8 +523,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		BatchSize:   opts.BatchSize,
 		Cache:       cacheState,
 		ElapsedNS:   elapsed.Nanoseconds(),
-	})
+	}
+	// The span tree rides back only when the client asked for it: routine
+	// traced queries (TraceQueries) feed metrics without inflating every
+	// response body.
+	if explain && res.Trace != nil {
+		resp.Trace = res.Trace
+		resp.TraceText = trace.Render(res.Trace)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 	s.met.record(outcomeOK, time.Since(start))
+}
+
+// hasExplainPrefix reports whether sql's first keyword is EXPLAIN
+// (case-insensitive), so the serve layer can turn tracing on before the
+// cache-hit path, which never re-parses, is consulted. The parser proper
+// still validates the full EXPLAIN ANALYZE spelling.
+func hasExplainPrefix(sql string) bool {
+	t := strings.TrimLeft(sql, " \t\r\n")
+	const kw = "explain"
+	return len(t) > len(kw) && strings.EqualFold(t[:len(kw)], kw) &&
+		(t[len(kw)] == ' ' || t[len(kw)] == '\t' || t[len(kw)] == '\r' || t[len(kw)] == '\n')
 }
 
 // prepared resolves SQL to a ready-to-probe execution: from the cache when
@@ -465,7 +575,13 @@ func (s *Server) prepared(sql string, opts engine.ExecOptions) (*engine.Prepared
 	return prep, "miss", nil
 }
 
+// prepare parses, plans, and builds one query. The wall clock of the whole
+// operation — dominated by draining hash-join build sides — feeds the
+// hydra_plan_cache_build_seconds_total counter, so cache-miss cost is
+// visible next to the hit rate.
 func (s *Server) prepare(sql string, opts engine.ExecOptions) (*engine.Prepared, error) {
+	start := time.Now()
+	defer func() { s.met.cacheBuildNS.Add(time.Since(start).Nanoseconds()) }()
 	q, err := sqlkit.Parse(sql)
 	if err != nil {
 		return nil, &badQueryError{err}

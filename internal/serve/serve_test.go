@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -690,17 +691,17 @@ func getStats(t *testing.T, url string) StatsResponse {
 }
 
 // TestServeStatsz pins GET /statsz: cache counters mirror CacheStats, and
-// last_query carries the most recent query's SQL, cache disposition, and
-// per-operator ExecNode counters.
+// the recent ring carries completed queries newest-first with SQL, cache
+// disposition, cardinality, request ID, and timing.
 func TestServeStatsz(t *testing.T) {
 	sum := buildToySummary(t)
 	srv := New(sum, Options{SampleLimit: 2})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	// Before any query: cache empty, no last_query.
+	// Before any query: cache empty, no recent queries.
 	sr := getStats(t, ts.URL)
-	if sr.LastQuery != nil || sr.Cache.Hits != 0 || sr.Cache.Misses != 0 {
+	if len(sr.Recent) != 0 || sr.Cache.Hits != 0 || sr.Cache.Misses != 0 {
 		t.Fatalf("fresh statsz = %+v", sr)
 	}
 
@@ -710,34 +711,57 @@ func TestServeStatsz(t *testing.T) {
 		t.Fatalf("query status %d", resp.StatusCode)
 	}
 	sr = getStats(t, ts.URL)
-	if sr.LastQuery == nil || sr.LastQuery.SQL != sql || sr.LastQuery.Cache != "miss" {
-		t.Fatalf("statsz after miss = %+v", sr.LastQuery)
+	if len(sr.Recent) != 1 || sr.Recent[0].SQL != sql || sr.Recent[0].Cache != "miss" {
+		t.Fatalf("statsz after miss = %+v", sr.Recent)
 	}
-	if sr.LastQuery.Plan == nil || sr.LastQuery.Plan.OutRows != want.Root.OutRows {
-		t.Fatalf("statsz plan = %+v, want root out_rows %d", sr.LastQuery.Plan, want.Root.OutRows)
+	if sr.Recent[0].Rows != want.Rows {
+		t.Fatalf("statsz rows = %d, want %d", sr.Recent[0].Rows, want.Rows)
 	}
-	if sr.LastQuery.ElapsedNS <= 0 {
-		t.Fatalf("statsz elapsed = %d", sr.LastQuery.ElapsedNS)
+	if sr.Recent[0].ElapsedNS <= 0 || sr.Recent[0].RequestID == "" || sr.Recent[0].TopOp == "" {
+		t.Fatalf("statsz summary incomplete: %+v", sr.Recent[0])
 	}
 	if sr.Cache != srv.CacheStats() {
 		t.Fatalf("statsz cache = %+v, want %+v", sr.Cache, srv.CacheStats())
 	}
 
-	// A repeat is a hit, and last_query follows it.
+	// A repeat is a hit; the ring is newest-first, so it leads.
 	if resp, _ := postQuery(t, ts.URL, sql); resp.StatusCode != http.StatusOK {
 		t.Fatal("repeat failed")
 	}
 	sr = getStats(t, ts.URL)
-	if sr.LastQuery.Cache != "hit" || sr.Cache.Hits != 1 || sr.Cache.Misses != 1 {
-		t.Fatalf("statsz after hit = %+v %+v", sr.LastQuery, sr.Cache)
+	if len(sr.Recent) != 2 || sr.Recent[0].Cache != "hit" || sr.Recent[1].Cache != "miss" {
+		t.Fatalf("statsz after hit = %+v %+v", sr.Recent, sr.Cache)
+	}
+	if sr.Cache.Hits != 1 || sr.Cache.Misses != 1 {
+		t.Fatalf("statsz cache after hit = %+v", sr.Cache)
 	}
 
-	// A failed query leaves last_query untouched.
+	// A failed query records nothing.
 	if resp, _ := postQuery(t, ts.URL, "SELECT nope FROM nowhere"); resp.StatusCode != http.StatusBadRequest {
 		t.Fatal("bad query not rejected")
 	}
-	if sr = getStats(t, ts.URL); sr.LastQuery.SQL != sql {
-		t.Fatalf("failed query overwrote last_query: %+v", sr.LastQuery)
+	if sr = getStats(t, ts.URL); len(sr.Recent) != 2 {
+		t.Fatalf("failed query entered the ring: %+v", sr.Recent)
+	}
+}
+
+// TestQueryRing pins the ring's overwrite-and-order behavior past capacity.
+func TestQueryRing(t *testing.T) {
+	var q queryRing
+	if got := q.snapshot(); got != nil {
+		t.Fatalf("empty ring snapshot = %v", got)
+	}
+	for i := 0; i < QueryRingSize+5; i++ {
+		q.add(QuerySummary{SQL: fmt.Sprintf("q%d", i)})
+	}
+	got := q.snapshot()
+	if len(got) != QueryRingSize {
+		t.Fatalf("ring holds %d, want %d", len(got), QueryRingSize)
+	}
+	for i, s := range got {
+		if want := fmt.Sprintf("q%d", QueryRingSize+4-i); s.SQL != want {
+			t.Fatalf("ring[%d] = %q, want %q (newest first)", i, s.SQL, want)
+		}
 	}
 }
 

@@ -194,6 +194,10 @@ func (it SelectItem) SQL() string {
 
 // Query is a parsed SPJ query, optionally grouped and aggregated.
 type Query struct {
+	// Explain marks an EXPLAIN ANALYZE query: execute with per-operator
+	// tracing and surface the annotated span tree with the result.
+	Explain bool
+
 	// Star is true for SELECT *; CountStar for SELECT COUNT(*).
 	Star      bool
 	CountStar bool
@@ -230,6 +234,9 @@ func (q *Query) Grouped() bool { return len(q.Items) > 0 }
 // SQL renders the query back to SQL text.
 func (q *Query) SQL() string {
 	var sb strings.Builder
+	if q.Explain {
+		sb.WriteString("EXPLAIN ANALYZE ")
+	}
 	sb.WriteString("SELECT ")
 	if q.Distinct {
 		sb.WriteString("DISTINCT ")

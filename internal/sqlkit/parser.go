@@ -10,7 +10,7 @@ import (
 
 // Parse parses one SPJ or grouped-aggregate query. The grammar is:
 //
-//	query  := SELECT [DISTINCT] ('*' | item (',' item)*)
+//	query  := [EXPLAIN ANALYZE] SELECT [DISTINCT] ('*' | item (',' item)*)
 //	          FROM ident (',' ident)* [WHERE pred (AND pred)*]
 //	          [GROUP BY colref (',' colref)*]
 //	          [ORDER BY colref [ASC|DESC] (',' colref [ASC|DESC])*]
@@ -30,6 +30,11 @@ import (
 // grouped form (Items + GroupBy). DISTINCT deduplicates over the selected
 // columns and cannot be combined with aggregates or GROUP BY; LIMIT and
 // OFFSET take non-negative integer literals.
+//
+// EXPLAIN ANALYZE executes the query it prefixes with per-operator tracing
+// and returns the annotated plan alongside the result (Query.Explain);
+// plain EXPLAIN is rejected — the engine has no static cost model to print,
+// only observed execution.
 func Parse(src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -93,10 +98,17 @@ func (p *parser) acceptSymbol(sym string) bool {
 }
 
 func (p *parser) parseQuery() (*Query, error) {
+	explain := false
+	if p.acceptKeyword("explain") {
+		if !p.acceptKeyword("analyze") {
+			return nil, fmt.Errorf("sqlkit: EXPLAIN without ANALYZE is not supported (got %s)", p.cur())
+		}
+		explain = true
+	}
 	if err := p.expectKeyword("select"); err != nil {
 		return nil, err
 	}
-	q := &Query{}
+	q := &Query{Explain: explain}
 	if err := p.parseSelectList(q); err != nil {
 		return nil, err
 	}

@@ -363,3 +363,50 @@ func TestParseSortLimitSQLRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestParseExplainAnalyze(t *testing.T) {
+	for _, sql := range []string{
+		"EXPLAIN ANALYZE SELECT * FROM r",
+		"explain analyze select count(*) from s where a >= 20",
+		"  Explain\tAnalyze  SELECT a, COUNT(*) FROM s GROUP BY a",
+	} {
+		q := mustParse(t, sql)
+		if !q.Explain {
+			t.Errorf("Parse(%q): Explain not set", sql)
+		}
+	}
+	// The prefix changes tracing, never the parsed query shape.
+	plain := mustParse(t, "SELECT count(*) FROM s WHERE a >= 20 AND a < 60")
+	traced := mustParse(t, "EXPLAIN ANALYZE SELECT count(*) FROM s WHERE a >= 20 AND a < 60")
+	if !traced.CountStar || len(traced.Preds) != len(plain.Preds) {
+		t.Errorf("explain changed query shape: %+v", traced)
+	}
+}
+
+func TestParseExplainErrors(t *testing.T) {
+	for _, sql := range []string{
+		"EXPLAIN SELECT * FROM r", // no static planner: ANALYZE is mandatory
+		"EXPLAIN ANALYZE",         // nothing to execute
+		"EXPLAIN",                 //
+		"EXPLAIN ANALYZE EXPLAIN ANALYZE SELECT * FROM r", // prefix is not recursive
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+	if _, err := Parse("EXPLAIN INSERT INTO t VALUES (1)"); err == nil ||
+		!strings.Contains(err.Error(), "EXPLAIN without ANALYZE") {
+		t.Errorf("EXPLAIN without ANALYZE error missing, got %v", err)
+	}
+}
+
+func TestExplainSQLRoundTrip(t *testing.T) {
+	q := mustParse(t, "explain analyze SELECT * FROM r WHERE x < 5 ORDER BY x LIMIT 3")
+	if got := q.SQL(); !strings.HasPrefix(got, "EXPLAIN ANALYZE SELECT") {
+		t.Fatalf("SQL() = %q, want EXPLAIN ANALYZE prefix", got)
+	}
+	q2 := mustParse(t, q.SQL())
+	if !q2.Explain || q2.SQL() != q.SQL() {
+		t.Errorf("round trip drifted:\n first %s\nsecond %s", q.SQL(), q2.SQL())
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Render draws the span tree as the EXPLAIN ANALYZE text plan: one line per
+// operator with its wall time, self time, output cardinality, batch count,
+// and — where the operator has input to be selective over — selectivity
+// (output rows as a fraction of direct input rows). Build-side subtrees are
+// marked detached; their drain wall clock appears as the join's build=.
+func Render(root *Span) string {
+	if root == nil {
+		return ""
+	}
+	var sb strings.Builder
+	renderSpan(&sb, root, "", "")
+	return sb.String()
+}
+
+func renderSpan(sb *strings.Builder, sp *Span, head, tail string) {
+	sb.WriteString(head)
+	sb.WriteString(sp.Op)
+	if sp.Detail != "" {
+		fmt.Fprintf(sb, " %s", sp.Detail)
+	}
+	fmt.Fprintf(sb, "  (time=%s self=%s rows=%d batches=%d", dur(sp.DurNS), dur(sp.SelfNS()), sp.Rows, sp.Batches)
+	if sp.Bytes > 0 {
+		fmt.Fprintf(sb, " bytes=%d", sp.Bytes)
+	}
+	if sp.BuildNS > 0 {
+		fmt.Fprintf(sb, " build=%s", dur(sp.BuildNS))
+	}
+	if in := inputRows(sp); in > 0 {
+		fmt.Fprintf(sb, " sel=%.1f%%", 100*float64(sp.Rows)/float64(in))
+	}
+	if sp.Detached {
+		sb.WriteString(" detached")
+	}
+	sb.WriteString(")\n")
+	for i, ch := range sp.Children {
+		if i < len(sp.Children)-1 {
+			renderSpan(sb, ch, tail+"├── ", tail+"│   ")
+		} else {
+			renderSpan(sb, ch, tail+"└── ", tail+"    ")
+		}
+	}
+}
+
+// inputRows is the span's direct input cardinality: the sum of its
+// children's output rows. Zero (no children, or nothing flowed) suppresses
+// the selectivity annotation.
+func inputRows(sp *Span) int64 {
+	var in int64
+	for _, ch := range sp.Children {
+		in += ch.Rows
+	}
+	return in
+}
+
+// dur formats nanoseconds the way time.Duration prints, rounded to keep
+// plan lines readable.
+func dur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		d = d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		d = d.Round(time.Microsecond)
+	default:
+		d = d.Round(100 * time.Nanosecond)
+	}
+	return d.String()
+}
