@@ -47,6 +47,19 @@ func sameResult(t *testing.T, label string, got, want *engine.ExecResult) {
 	sameNode(t, label, got.Root, want.Root)
 }
 
+// sameValues compares observable query values only — rows, count, sample —
+// leaving the operator tree unconstrained, for arms where the execution
+// path (and hence the tree shape) is allowed to differ.
+func sameValues(t *testing.T, label string, got, want *engine.ExecResult) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Count != want.Count {
+		t.Fatalf("%s: rows/count = %d/%d, want %d/%d", label, got.Rows, got.Count, want.Rows, want.Count)
+	}
+	if !reflect.DeepEqual(got.Sample, want.Sample) {
+		t.Fatalf("%s: samples differ:\n got %v\nwant %v", label, got.Sample, want.Sample)
+	}
+}
+
 func sameNode(t *testing.T, label string, got, want *engine.ExecNode) {
 	t.Helper()
 	if got.Op != want.Op || got.Table != want.Table || got.OutRows != want.OutRows {
@@ -77,7 +90,11 @@ func checkWorkloadParity(t *testing.T, pkg *TransferPackage, queries []string) {
 		t.Fatal(err)
 	}
 	for _, size := range []int{0, 3} {
-		opts := engine.ExecOptions{SampleLimit: 5, BatchSize: size}
+		// NoSummaryAgg pins the regenerating pipeline: this suite compares
+		// operator trees node by node, which the summary-direct fast path
+		// intentionally collapses. Its value parity is checked separately
+		// below (and exhaustively in the summaryagg parity suite).
+		opts := engine.ExecOptions{SampleLimit: 5, BatchSize: size, NoSummaryAgg: true}
 		for _, sql := range queries {
 			batched := execWith(t, regen, sql, opts, engine.Execute)
 			rows := execWith(t, regen, sql, opts, engine.ExecuteRows)
@@ -88,6 +105,12 @@ func checkWorkloadParity(t *testing.T, pkg *TransferPackage, queries []string) {
 			// Dataless and materialized execution see the same tuples, so
 			// their results (not just counts) must coincide too.
 			sameResult(t, sql+" [dataless vs materialized]", batched, matBatched)
+			// With the fast path allowed, values must still be identical
+			// whether the summary or the pipeline answered.
+			fastOpts := opts
+			fastOpts.NoSummaryAgg = false
+			fast := execWith(t, regen, sql, fastOpts, engine.Execute)
+			sameValues(t, sql+" [fast path]", fast, batched)
 		}
 	}
 }

@@ -116,6 +116,11 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 		return err
 	}
 	scanRows := planInputRows(sum, plan)
+	// Rows whose name says "dataless query" measure the regenerating
+	// pipeline, so the summary-direct fast path is pinned off for them (and
+	// for every other regen-measuring row below); the fast path has its own
+	// summary_* rows further down.
+	regenOpts := engine.ExecOptions{NoSummaryAgg: true}
 	for _, exec := range []struct {
 		name string
 		f    func(*engine.Database, *engine.Plan, engine.ExecOptions) (*engine.ExecResult, error)
@@ -126,7 +131,7 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 		f := exec.f
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := f(regen, plan, engine.ExecOptions{}); err != nil {
+				if _, err := f(regen, plan, regenOpts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -138,18 +143,18 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 	// reuse — the serve cache-hit regime. The scan→filter→count path is
 	// contractually allocation-free after warmup; a regression here fails
 	// the bench smoke rather than slipping into the trajectory unnoticed.
-	prep, err := engine.Prepare(regen, plan, engine.ExecOptions{})
+	prep, err := engine.Prepare(regen, plan, regenOpts)
 	if err != nil {
 		return err
 	}
 	var st engine.ExecState
-	if _, err := prep.ExecuteIn(&st, engine.ExecOptions{}); err != nil {
+	if _, err := prep.ExecuteIn(&st, regenOpts); err != nil {
 		return err
 	}
 	steady := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := prep.ExecuteIn(&st, engine.ExecOptions{}); err != nil {
+			if _, err := prep.ExecuteIn(&st, regenOpts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -165,14 +170,16 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 	// span arena. Value is the fractional ns/op cost over the untraced row —
 	// the E16 target is under 3% — and the zero-allocation audit holds here
 	// too (spans are recycled by Reset, never reallocated).
+	tracedOpts := regenOpts
+	tracedOpts.Trace = true
 	var tst engine.ExecState
-	if _, err := prep.ExecuteIn(&tst, engine.ExecOptions{Trace: true}); err != nil {
+	if _, err := prep.ExecuteIn(&tst, tracedOpts); err != nil {
 		return err
 	}
 	traced := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := prep.ExecuteIn(&tst, engine.ExecOptions{Trace: true}); err != nil {
+			if _, err := prep.ExecuteIn(&tst, tracedOpts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -199,7 +206,7 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 	}
 	explain := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := engine.Execute(regen, eaplan, engine.ExecOptions{Trace: eaq.Explain})
+			res, err := engine.Execute(regen, eaplan, engine.ExecOptions{Trace: eaq.Explain, NoSummaryAgg: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -248,7 +255,7 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 	// scaling series is meaningful on any host; speedup saturates at the
 	// host's core count).
 	for _, workers := range []int{1, 2, 4, 8} {
-		opts := engine.ExecOptions{Parallelism: workers}
+		opts := engine.ExecOptions{Parallelism: workers, NoSummaryAgg: true}
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := engine.ExecuteParallel(regen, plan, opts); err != nil {
@@ -275,14 +282,14 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 	grows := planInputRows(sum, gplan)
 	groupFresh := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := engine.Execute(regen, gplan, engine.ExecOptions{}); err != nil {
+			if _, err := engine.Execute(regen, gplan, regenOpts); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	rows = append(rows, row("groupby_fresh", groupFresh, float64(grows)))
 	for _, workers := range []int{2, 4} {
-		opts := engine.ExecOptions{Parallelism: workers}
+		opts := engine.ExecOptions{Parallelism: workers, NoSummaryAgg: true}
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := engine.ExecuteParallel(regen, gplan, opts); err != nil {
@@ -292,18 +299,18 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 		})
 		rows = append(rows, row(fmt.Sprintf("groupby_parallel_w%d", workers), r, float64(grows)))
 	}
-	gprep, err := engine.Prepare(regen, gplan, engine.ExecOptions{})
+	gprep, err := engine.Prepare(regen, gplan, regenOpts)
 	if err != nil {
 		return err
 	}
 	var gst engine.ExecState
-	if _, err := gprep.ExecuteIn(&gst, engine.ExecOptions{}); err != nil {
+	if _, err := gprep.ExecuteIn(&gst, regenOpts); err != nil {
 		return err
 	}
 	groupSteady := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := gprep.ExecuteIn(&gst, engine.ExecOptions{}); err != nil {
+			if _, err := gprep.ExecuteIn(&gst, regenOpts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -362,7 +369,7 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 	drows := planInputRows(sum, dplan)
 	distinctFresh := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := engine.Execute(regen, dplan, engine.ExecOptions{}); err != nil {
+			if _, err := engine.Execute(regen, dplan, regenOpts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -373,6 +380,18 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 		return err
 	}
 	rows = append(rows, distinctSteady)
+
+	// Summary-direct aggregate fast path: the same aggregate shapes answered
+	// in O(summary rows) without regenerating a tuple. rows_per_sec keeps the
+	// regenerated-tuple denominator so the rows are directly comparable to
+	// their dataless_query_* and groupby_* counterparts — the ratio is the
+	// fast path's effective speedup. Each row asserts the summary actually
+	// answered (Path == "summary"); a silent fallback fails the bench run.
+	saggRows, err := summaryAggRows(regen, sum)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, saggRows...)
 
 	// Raw generation over partitioned streams at 1/2/4/8 workers.
 	for _, workers := range []int{1, 2, 4, 8} {
@@ -533,6 +552,81 @@ func loadtestRows(sum *summary.Database) ([]BenchRow, error) {
 	}, nil
 }
 
+// summaryAggRows measures the summary-direct aggregate fast path: a
+// filtered COUNT and a grouped aggregate answered from summary-row
+// arithmetic (summary_count, summary_groupagg), plus the prepared
+// steady-state path (summary_steady), which shares the engine's
+// zero-allocation audit — the proved evaluator's scratch interval sets and
+// aggregation state are recycled, so repeat executions allocate nothing.
+func summaryAggRows(regen *engine.Database, sum *summary.Database) ([]BenchRow, error) {
+	var out []BenchRow
+	for _, v := range []struct{ name, sql string }{
+		{"summary_count", "SELECT COUNT(*) FROM store_sales WHERE ss_quantity >= 50"},
+		{"summary_groupagg", "SELECT ss_quantity, COUNT(*), SUM(ss_quantity) FROM store_sales WHERE ss_quantity >= 25 GROUP BY ss_quantity"},
+	} {
+		q, err := sqlkit.Parse(v.sql)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := engine.BuildPlan(regen.Schema, q)
+		if err != nil {
+			return nil, err
+		}
+		res, err := engine.Execute(regen, plan, engine.ExecOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if res.Path != engine.PathSummary {
+			return nil, fmt.Errorf("bench: %s was not answered summary-directly (path %q) — the fast path has regressed", v.name, res.Path)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Execute(regen, plan, engine.ExecOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// The regenerated-tuple denominator makes rows_per_sec the effective
+		// throughput, comparable against the dataless_query_* rows.
+		out = append(out, row(v.name, r, float64(planInputRows(sum, plan))))
+	}
+
+	q, err := sqlkit.Parse("SELECT COUNT(*) FROM store_sales WHERE ss_quantity >= 50")
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.BuildPlan(regen.Schema, q)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := engine.Prepare(regen, plan, engine.ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var st engine.ExecState
+	res, err := prep.ExecuteIn(&st, engine.ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if res.Path != engine.PathSummary {
+		return nil, fmt.Errorf("bench: summary_steady was not answered summary-directly (path %q)", res.Path)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.ExecuteIn(&st, engine.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	steady := row("summary_steady", r, float64(planInputRows(sum, plan)))
+	if steady.AllocsPerOp != 0 {
+		return nil, fmt.Errorf("bench: summary_steady allocates %d objects/op, want 0 (zero-allocation audit)", steady.AllocsPerOp)
+	}
+	out = append(out, steady)
+	return out, nil
+}
+
 // steadySinkRow measures the steady-state ExecuteIn path of one sink query
 // (ORDER BY + LIMIT, DISTINCT) and enforces the zero-allocation audit on
 // it: a recycled sink state that allocates fails the bench run.
@@ -545,18 +639,21 @@ func steadySinkRow(regen *engine.Database, sum *summary.Database, name, sql stri
 	if err != nil {
 		return BenchRow{}, err
 	}
-	prep, err := engine.Prepare(regen, plan, engine.ExecOptions{})
+	// Sink rows measure the regenerating sort/dedup pipeline; the DISTINCT
+	// query would otherwise be answered summary-directly.
+	opts := engine.ExecOptions{NoSummaryAgg: true}
+	prep, err := engine.Prepare(regen, plan, opts)
 	if err != nil {
 		return BenchRow{}, err
 	}
 	var st engine.ExecState
-	if _, err := prep.ExecuteIn(&st, engine.ExecOptions{}); err != nil {
+	if _, err := prep.ExecuteIn(&st, opts); err != nil {
 		return BenchRow{}, err
 	}
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := prep.ExecuteIn(&st, engine.ExecOptions{}); err != nil {
+			if _, err := prep.ExecuteIn(&st, opts); err != nil {
 				b.Fatal(err)
 			}
 		}

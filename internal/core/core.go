@@ -140,6 +140,12 @@ func BuildFromPackage(pkg *TransferPackage, opts summary.BuildOptions) (*summary
 // relation property). rowsPerSec throttles generation per scan; zero means
 // unlimited. The returned sources are batch-capable (both Stream and Paced
 // implement batch.Source), so engine execution runs on the batched path.
+//
+// At full speed the summary is also registered with the engine, enabling the
+// summary-direct aggregate fast path: provably exact aggregates skip
+// regeneration entirely. Paced databases deliberately do not register it —
+// their purpose is to model a generation-rate budget, and a query answered
+// from the summary alone would bypass the pacing being measured.
 func RegenDatabase(sum *summary.Database, rowsPerSec float64) *engine.Database {
 	db := engine.NewDatabase(sum.Schema)
 	for name := range sum.Relations {
@@ -152,6 +158,9 @@ func RegenDatabase(sum *summary.Database, rowsPerSec float64) *engine.Database {
 			}
 			return stream, nil
 		})
+		if rowsPerSec == 0 {
+			db.SetSummary(name, rel)
+		}
 	}
 	return db
 }

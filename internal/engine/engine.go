@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/schema"
+	"repro/internal/synopsis"
 )
 
 // RowSource yields coded rows one at a time. Next returns ok=false when the
@@ -43,17 +44,19 @@ func (r *Relation) Append(row []int64) error {
 
 // Database holds stored relations and per-table datagen overrides.
 type Database struct {
-	Schema  *schema.Schema
-	rels    map[string]*Relation
-	datagen map[string]DatagenFunc
+	Schema    *schema.Schema
+	rels      map[string]*Relation
+	datagen   map[string]DatagenFunc
+	summaries map[string]*synopsis.Relation
 }
 
 // NewDatabase creates an empty database over the schema.
 func NewDatabase(s *schema.Schema) *Database {
 	return &Database{
-		Schema:  s,
-		rels:    make(map[string]*Relation),
-		datagen: make(map[string]DatagenFunc),
+		Schema:    s,
+		rels:      make(map[string]*Relation),
+		datagen:   make(map[string]DatagenFunc),
+		summaries: make(map[string]*synopsis.Relation),
 	}
 }
 
@@ -85,6 +88,24 @@ func (db *Database) DatagenEnabled(table string) bool {
 	_, ok := db.datagen[table]
 	return ok
 }
+
+// SetSummary registers the relation summary a table's datagen scans expand,
+// unlocking the summary-direct aggregate fast path (summaryagg.go): provably
+// exact aggregates are then answered in O(summary rows) without generating a
+// single tuple. Register a summary only when the table's scans regenerate
+// from exactly that summary at full speed — a paced or caller-supplied
+// datagen source must not register one, since queries answered
+// summary-directly bypass the scan entirely. Passing nil unregisters.
+func (db *Database) SetSummary(table string, rel *synopsis.Relation) {
+	if rel == nil {
+		delete(db.summaries, table)
+		return
+	}
+	db.summaries[table] = rel
+}
+
+// Summary returns the registered relation summary for a table, or nil.
+func (db *Database) Summary(table string) *synopsis.Relation { return db.summaries[table] }
 
 // openScan returns a row source for the table: the datagen stream when
 // enabled, otherwise a cursor over stored rows.

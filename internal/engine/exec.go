@@ -40,7 +40,20 @@ type ExecResult struct {
 	// ExecOptions.Trace, nil otherwise. It mirrors Root's shape, with wall
 	// time, rows, batches, and bytes per operator.
 	Trace *trace.Span
+	// Path names the execution path that answered the query: PathSummary
+	// when the summary-direct aggregate fast path did, empty when the
+	// regenerating operator pipeline did.
+	Path string
+	// Approx is set when the execution ran with ExecOptions.Approx and the
+	// summary-direct path answered: it reports whether any summary row was
+	// estimated rather than proven, with a 95% confidence interval. Nil on
+	// the regenerating path (which is always exact).
+	Approx *ApproxInfo
 }
+
+// PathSummary is ExecResult.Path's value when the summary-direct aggregate
+// fast path answered the query without regenerating rows.
+const PathSummary = "summary"
 
 // ExecOptions tune execution.
 type ExecOptions struct {
@@ -73,6 +86,18 @@ type ExecOptions struct {
 	// preallocated at open time, so even traced ExecuteIn steady state
 	// allocates nothing per query.
 	Trace bool
+	// Approx permits the summary-direct fast path to answer global (non
+	// GROUP BY) aggregates whose summary rows are not all provably exact,
+	// estimating the remainder under a cross-column independence
+	// assumption. The result then carries ApproxInfo with a 95% confidence
+	// interval on the matching-row count. Off (the default), only provably
+	// exact answers take the fast path and everything else regenerates.
+	Approx bool
+	// NoSummaryAgg forces the regenerating pipeline even when the
+	// summary-direct fast path could answer exactly. Verification flows
+	// comparing full operator trees and benchmarks measuring regeneration
+	// set it; normal queries should not.
+	NoSummaryAgg bool
 }
 
 // ErrInvalidOptions tags ExecOptions validation failures; test with
@@ -158,6 +183,9 @@ func ExecuteRowsContext(ctx context.Context, db *Database, plan *Plan, opts Exec
 	ctl := &execCtl{ctx: ctx}
 	if opts.Trace {
 		ctl.rec = trace.NewRecorder(countPlanNodes(plan.Root))
+	}
+	if res, ok, err := trySummaryAgg(ctl, db, plan, opts); ok {
+		return res, err
 	}
 	it, width, pop, node, err := openCol(db, plan.Root, rowNeed(plan), opts.BatchSize, nil, nil, ctl)
 	if err != nil {

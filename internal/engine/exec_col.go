@@ -94,6 +94,15 @@ func executeColumnarFrom(ctx context.Context, db *Database, plan *Plan, opts Exe
 	if opts.Trace {
 		ctl.rec = trace.NewRecorder(countPlanNodes(plan.Root))
 	}
+	// The summary-direct fast path claims eligible aggregate plans before
+	// any operator opens — unless a pre-opened scan was handed down (the
+	// parallel executor's fallback), whose one-invocation contract obliges
+	// us to drive it.
+	if ov == nil {
+		if res, ok, err := trySummaryAgg(ctl, db, plan, opts); ok {
+			return res, err
+		}
+	}
 	need := rootNeed(plan, opts)
 	it, width, pop, node, err := openCol(db, plan.Root, need, opts.BatchSize, ov, builds, ctl)
 	if err != nil {

@@ -73,6 +73,11 @@ func executeParallelFrom(ctx context.Context, db *Database, plan *Plan, opts Exe
 	if opts.Trace {
 		ctl.rec = trace.NewRecorder(countPlanNodes(plan.Root))
 	}
+	// The summary-direct fast path preempts worker fan-out entirely: an
+	// O(summary rows) evaluation has nothing to parallelize.
+	if res, ok, err := trySummaryAgg(ctl, db, plan, opts); ok {
+		return res, err
+	}
 	pp, fallback, err := openParallel(db, plan, opts, builds, ctl)
 	if err != nil {
 		return nil, err

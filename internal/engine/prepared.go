@@ -110,6 +110,7 @@ type ExecState struct {
 	res   ExecResult
 	opts  ExecOptions
 	ctl   execCtl
+	sagg  *summaryAggEval // summary-direct evaluator when the fast path applies
 	valid bool
 }
 
@@ -157,26 +158,52 @@ func (p *Prepared) ExecuteInContext(ctx context.Context, st *ExecState, opts Exe
 		} else {
 			st.ctl.rec = nil
 		}
-		need := rootNeed(p.plan, opts)
-		it, width, pop, node, err := openCol(p.db, p.plan.Root, need, opts.BatchSize, nil, p.builds, &st.ctl)
-		if err != nil {
-			return nil, err
+		// The summary-direct fast path is judged once per tree build and
+		// then recycled like the operator tree: its span, scratch buffers,
+		// and aggregation state all reset in place, so steady-state
+		// fast-path executions allocate nothing.
+		st.sagg = summaryAggFor(p.db, p.plan, opts)
+		if st.sagg != nil {
+			st.sagg.open(&st.ctl)
+			st.res = ExecResult{Root: &st.sagg.node, Trace: st.sagg.sp}
+			st.opts = opts
+			st.valid = true
+		} else {
+			need := rootNeed(p.plan, opts)
+			it, width, pop, node, err := openCol(p.db, p.plan.Root, need, opts.BatchSize, nil, p.builds, &st.ctl)
+			if err != nil {
+				return nil, err
+			}
+			st.it = it
+			st.b = batch.NewCol(width, opts.BatchSize, pop)
+			st.res = ExecResult{Root: node, Trace: node.sp}
+			st.opts = opts
+			st.valid = true
 		}
-		st.it = it
-		st.b = batch.NewCol(width, opts.BatchSize, pop)
-		st.res = ExecResult{Root: node, Trace: node.sp}
-		st.opts = opts
-		st.valid = true
 	} else {
 		if st.ctl.rec != nil {
 			st.ctl.rec.Reset()
 		}
-		if err := st.it.rewind(p.db); err != nil {
-			return nil, err
+		if st.sagg == nil {
+			if err := st.it.rewind(p.db); err != nil {
+				return nil, err
+			}
 		}
 	}
 	st.res.Rows, st.res.Count = 0, 0
 	st.res.Sample = nil
+	st.res.Path = ""
+	st.res.Approx = nil
+	if st.sagg != nil {
+		st.res.Path = PathSummary
+		if err := st.sagg.run(&st.ctl, &st.res, opts); err != nil {
+			return nil, err
+		}
+		if st.ctl.err != nil {
+			return nil, st.ctl.err
+		}
+		return &st.res, nil
+	}
 	runColumnar(&st.ctl, st.it, st.b, p.plan, opts, &st.res)
 	if st.ctl.err != nil {
 		return nil, st.ctl.err

@@ -1,0 +1,381 @@
+package engine
+
+// Tests for the summary-direct aggregate fast path against a hand-built
+// summary whose rows exercise every classification: full-cycle rows,
+// boundary-straddling predicates on cycling sets, empty-match rows, group
+// keys drawn from cycling sets, the synthesized primary-key range, and
+// non-provable rows (two independently restricted cycling columns) that
+// force exact fallback or — under Approx — estimation. Each query runs
+// fast-path and regenerating, byte-identical (reflect.DeepEqual on rows,
+// count, and sample).
+
+import (
+	"math"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/schema"
+	"repro/internal/sqlkit"
+	"repro/internal/synopsis"
+	"repro/internal/value"
+)
+
+// saggSchema is one table m(pk, a, b) with pk auto-numbered.
+func saggSchema() *schema.Schema {
+	return &schema.Schema{Tables: []*schema.Table{{
+		Name:     "m",
+		RowCount: 22,
+		Columns: []*schema.Column{
+			{Name: "pk", Type: schema.Int, PrimaryKey: true, DomainLo: 0, DomainHi: 1000},
+			{Name: "a", Type: schema.Int, DomainLo: 0, DomainHi: 1000},
+			{Name: "b", Type: schema.Int, DomainLo: 0, DomainHi: 1000},
+		},
+	}}}
+}
+
+func set(ivs ...value.Interval) value.IntervalSet {
+	return value.IntervalSet(ivs).Normalize()
+}
+
+// saggDB builds a dataless database over a crafted summary:
+//
+//	row 0: 10 tuples, a cycles [0,5) (2 full cycles), b fixed 7
+//	row 1:  7 tuples, a cycles [10,13) (2 cycles + prefix 10), b fixed 9
+//	row 2:  5 tuples, a fixed 2, b cycles [100,105) (1 full cycle)
+//	row 3:  0 tuples (must contribute nothing)
+func saggDB(t *testing.T) *Database {
+	t.Helper()
+	return saggDBRows(t, []synopsis.Row{
+		{Count: 10, Specs: []synopsis.ColSpec{synopsis.SetSpec(1, set(value.Ival(0, 5))), synopsis.FixedSpec(2, 7)}},
+		{Count: 7, Specs: []synopsis.ColSpec{synopsis.SetSpec(1, set(value.Ival(10, 13))), synopsis.FixedSpec(2, 9)}},
+		{Count: 5, Specs: []synopsis.ColSpec{synopsis.FixedSpec(1, 2), synopsis.SetSpec(2, set(value.Ival(100, 105)))}},
+		{Count: 0, Specs: []synopsis.ColSpec{synopsis.FixedSpec(1, 999)}},
+	})
+}
+
+func saggDBRows(t *testing.T, rows []synopsis.Row) *Database {
+	t.Helper()
+	s := saggSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, r := range rows {
+		total += r.Count
+	}
+	rel := &synopsis.Relation{Table: "m", Total: total, Rows: rows}
+	if err := rel.Validate(s.Table("m")); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(s)
+	tab := s.Table("m")
+	db.SetDatagen("m", func() (RowSource, error) {
+		return generator.NewStream(tab, rel), nil
+	})
+	db.SetSummary("m", rel)
+	return db
+}
+
+func saggExec(t *testing.T, db *Database, sql string, opts ExecOptions) *ExecResult {
+	t.Helper()
+	q, err := sqlkit.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	plan, err := BuildPlan(db.Schema, q)
+	if err != nil {
+		t.Fatalf("plan %q: %v", sql, err)
+	}
+	res, err := Execute(db, plan, opts)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+// TestSummaryAggParityHandBuilt holds the fast path to byte-identical
+// results with the regenerating pipeline over crafted summary rows, and
+// pins which queries the fast path actually claims.
+func TestSummaryAggParityHandBuilt(t *testing.T) {
+	db := saggDB(t)
+	cases := []struct {
+		sql  string
+		fast bool // must be answered summary-directly
+	}{
+		{"SELECT COUNT(*) FROM m", true},
+		// Boundary-straddling: [2,11) clips row 0's cycle to {2,3,4}, row
+		// 1's to {10}, and contains row 2's fixed a=2.
+		{"SELECT COUNT(*) FROM m WHERE a >= 2 AND a < 11", true},
+		// Empty match: no row's a reaches 50.
+		{"SELECT COUNT(*) FROM m WHERE a >= 50", true},
+		// The phase prefix matters: row 1 has 2 full cycles plus one extra
+		// tuple at a=10, so a=10 counts 3 and a=11, a=12 count 2.
+		{"SELECT a, COUNT(*) FROM m WHERE a >= 10 GROUP BY a", true},
+		// Group keys from a cycling set, aggregates over the other column.
+		{"SELECT a, COUNT(*), SUM(b), MIN(b), MAX(b), AVG(b) FROM m GROUP BY a", true},
+		// Aggregate input is the driving predicate column (case B).
+		{"SELECT COUNT(*), SUM(a), MIN(a), MAX(a), AVG(a) FROM m WHERE a >= 3", true},
+		// Aggregate over an unconstrained cycling column (full-cycle math)
+		// while the group key is fixed-or-cycling per row.
+		{"SELECT COUNT(*), SUM(b) FROM m", true},
+		// Predicate on the synthesized primary-key range.
+		{"SELECT COUNT(*) FROM m WHERE pk >= 3 AND pk < 12", true},
+		// A partial pk restriction selects an offset window, so cycling
+		// aggregate inputs in the straddled row are position-coupled to it:
+		// the proof declines and the query regenerates. Still exact.
+		{"SELECT SUM(a), COUNT(*) FROM m WHERE pk < 11", false},
+		// DISTINCT over a cycling column.
+		{"SELECT DISTINCT a FROM m", true},
+		{"SELECT DISTINCT b FROM m WHERE a < 3", true},
+		// Two independently restricted cycling columns in one summary row
+		// (row 2 under b; rows 0-1 under a): row 2 has a fixed, rows 0-1
+		// have b fixed, so every row still resolves — this one stays fast.
+		{"SELECT COUNT(*) FROM m WHERE a < 3 AND b < 102", true},
+		// GROUP BY pk would enumerate one group per tuple: falls back.
+		{"SELECT pk, COUNT(*) FROM m GROUP BY pk", false},
+		// ORDER BY / LIMIT shapes never get a candidate.
+		{"SELECT a, COUNT(*) FROM m GROUP BY a ORDER BY a DESC", false},
+		{"SELECT COUNT(*) FROM m LIMIT 1", false},
+	}
+	for _, tc := range cases {
+		want := saggExec(t, db, tc.sql, ExecOptions{SampleLimit: 30, NoSummaryAgg: true})
+		got := saggExec(t, db, tc.sql, ExecOptions{SampleLimit: 30})
+		if got.Rows != want.Rows || got.Count != want.Count || !reflect.DeepEqual(got.Sample, want.Sample) {
+			t.Errorf("%s: fast path diverged:\n got %d/%d %v\nwant %d/%d %v",
+				tc.sql, got.Rows, got.Count, got.Sample, want.Rows, want.Count, want.Sample)
+			continue
+		}
+		if fast := got.Path == PathSummary; fast != tc.fast {
+			t.Errorf("%s: Path = %q, want fast=%v", tc.sql, got.Path, tc.fast)
+		}
+		if want.Path != "" {
+			t.Errorf("%s: NoSummaryAgg execution reported Path %q", tc.sql, want.Path)
+		}
+	}
+}
+
+// TestSummaryAggFallbackNonProvable pins that a summary row with two
+// independently restricted cycling columns defeats the proof — the query
+// falls back to regeneration and still answers exactly.
+func TestSummaryAggFallbackNonProvable(t *testing.T) {
+	db := saggDBRows(t, []synopsis.Row{
+		// a cycles mod 4, b cycles mod 3 within one row: restricting both
+		// couples the columns through tuple offsets, which per-column
+		// interval arithmetic cannot express.
+		{Count: 12, Specs: []synopsis.ColSpec{
+			synopsis.SetSpec(1, set(value.Ival(0, 4))),
+			synopsis.SetSpec(2, set(value.Ival(100, 103))),
+		}},
+	})
+	sql := "SELECT COUNT(*) FROM m WHERE a < 2 AND b < 102"
+	want := saggExec(t, db, sql, ExecOptions{NoSummaryAgg: true})
+	got := saggExec(t, db, sql, ExecOptions{})
+	if got.Path != "" {
+		t.Fatalf("non-provable query took path %q, want regeneration", got.Path)
+	}
+	if got.Count != want.Count || got.Rows != want.Rows {
+		t.Fatalf("fallback diverged: %d/%d, want %d/%d", got.Rows, got.Count, want.Rows, want.Count)
+	}
+	// A single restricted cycling column in the same row IS provable.
+	one := saggExec(t, db, "SELECT COUNT(*) FROM m WHERE a < 2", ExecOptions{})
+	if one.Path != PathSummary {
+		t.Fatalf("single-column restriction took path %q, want summary", one.Path)
+	}
+	oneWant := saggExec(t, db, "SELECT COUNT(*) FROM m WHERE a < 2", ExecOptions{NoSummaryAgg: true})
+	if one.Count != oneWant.Count {
+		t.Fatalf("single-column count %d, want %d", one.Count, oneWant.Count)
+	}
+}
+
+// TestSummaryAggApprox exercises ExecOptions.Approx on the non-provable
+// shape: the estimate must carry ApproxInfo, land within its own 95%
+// confidence interval of the exact answer (the toy sizes make the interval
+// generous), and grouped queries must never estimate.
+func TestSummaryAggApprox(t *testing.T) {
+	db := saggDBRows(t, []synopsis.Row{
+		{Count: 1200, Specs: []synopsis.ColSpec{
+			synopsis.SetSpec(1, set(value.Ival(0, 4))),
+			synopsis.SetSpec(2, set(value.Ival(100, 103))),
+		}},
+		{Count: 10, Specs: []synopsis.ColSpec{
+			synopsis.SetSpec(1, set(value.Ival(0, 5))),
+			synopsis.FixedSpec(2, 101),
+		}},
+	})
+	sql := "SELECT COUNT(*) FROM m WHERE a < 2 AND b < 102"
+	exact := saggExec(t, db, sql, ExecOptions{NoSummaryAgg: true})
+	approx := saggExec(t, db, sql, ExecOptions{Approx: true})
+	if approx.Path != PathSummary {
+		t.Fatalf("approx query took path %q, want summary", approx.Path)
+	}
+	if approx.Approx == nil || !approx.Approx.Estimated {
+		t.Fatalf("approx result carries no estimation info: %+v", approx.Approx)
+	}
+	if approx.Approx.CI95 <= 0 {
+		t.Fatalf("estimated answer has no confidence interval: %+v", approx.Approx)
+	}
+	if diff := math.Abs(float64(approx.Count - exact.Count)); diff > approx.Approx.CI95 {
+		t.Fatalf("estimate %d is %.1f off the exact %d, beyond its CI95 %.1f",
+			approx.Count, diff, exact.Count, approx.Approx.CI95)
+	}
+	// A provable query under Approx answers exactly and says so.
+	prov := saggExec(t, db, "SELECT COUNT(*) FROM m WHERE a < 2", ExecOptions{Approx: true})
+	if prov.Path != PathSummary || prov.Approx == nil || prov.Approx.Estimated {
+		t.Fatalf("provable approx query: path %q approx %+v, want exact summary answer", prov.Path, prov.Approx)
+	}
+	exactProv := saggExec(t, db, "SELECT COUNT(*) FROM m WHERE a < 2", ExecOptions{NoSummaryAgg: true})
+	if prov.Count != exactProv.Count {
+		t.Fatalf("provable approx count %d, want %d", prov.Count, exactProv.Count)
+	}
+	// Grouped queries never estimate: non-provable rows mean fallback even
+	// under Approx.
+	grp := saggExec(t, db, "SELECT a, COUNT(*) FROM m WHERE b < 102 GROUP BY a", ExecOptions{Approx: true})
+	if grp.Path == PathSummary {
+		t.Fatalf("grouped non-provable query was answered summary-directly under Approx")
+	}
+}
+
+// TestSummaryAggHardSpecs pins the defensive rejections: an explicit spec
+// on the auto-numbered primary key and duplicate specs for one column are
+// path-inconsistent in the generator, so when the query references such a
+// column the fast path must decline even under Approx. (Pathological specs
+// on columns a query never reads cannot affect its answer, so those stay
+// eligible.)
+func TestSummaryAggHardSpecs(t *testing.T) {
+	for name, tc := range map[string]struct {
+		rows []synopsis.Row
+		sql  string
+	}{
+		"pk spec": {
+			rows: []synopsis.Row{{Count: 5, Specs: []synopsis.ColSpec{
+				synopsis.FixedSpec(0, 42), synopsis.FixedSpec(1, 1),
+			}}},
+			sql: "SELECT COUNT(*) FROM m WHERE pk >= 0",
+		},
+		"duplicate spec": {
+			rows: []synopsis.Row{{Count: 5, Specs: []synopsis.ColSpec{
+				synopsis.FixedSpec(1, 1), synopsis.FixedSpec(1, 2),
+			}}},
+			sql: "SELECT COUNT(*), SUM(a) FROM m WHERE a >= 0",
+		},
+	} {
+		db := saggDBRows(t, tc.rows)
+		for _, opts := range []ExecOptions{{}, {Approx: true}} {
+			res := saggExec(t, db, tc.sql, opts)
+			if res.Path == PathSummary {
+				t.Errorf("%s (approx=%v): pathological row was answered summary-directly", name, opts.Approx)
+			}
+		}
+	}
+}
+
+// TestSummaryAggCandidateShapes pins the planner's structural gate.
+func TestSummaryAggCandidateShapes(t *testing.T) {
+	s := saggSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for sql, want := range map[string]bool{
+		"SELECT COUNT(*) FROM m":                          true,
+		"SELECT COUNT(*) FROM m WHERE a < 3":              true,
+		"SELECT a, COUNT(*) FROM m GROUP BY a":            true,
+		"SELECT DISTINCT a FROM m":                        true,
+		"SELECT a, COUNT(*) FROM m GROUP BY a ORDER BY a": false,
+		"SELECT COUNT(*) FROM m LIMIT 1":                  false,
+		"SELECT * FROM m":                                 false,
+		"SELECT * FROM m WHERE a < 3":                     false,
+	} {
+		q, err := sqlkit.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		plan, err := BuildPlan(s, q)
+		if err != nil {
+			t.Fatalf("plan %q: %v", sql, err)
+		}
+		if got := plan.SummaryAgg != nil; got != want {
+			t.Errorf("%s: candidate = %v, want %v", sql, got, want)
+		}
+		if plan.SummaryAgg != nil && plan.SummaryAgg.Op != OpSummaryAgg {
+			t.Errorf("%s: candidate op = %v", sql, plan.SummaryAgg.Op)
+		}
+	}
+}
+
+// TestSummaryAggGateConditions pins the dispatch gate: no registered
+// summary, datagen disabled, or the NoSummaryAgg opt-out all yield nil.
+func TestSummaryAggGateConditions(t *testing.T) {
+	db := saggDB(t)
+	q, err := sqlkit.Parse("SELECT COUNT(*) FROM m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(db.Schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summaryAggFor(db, plan, ExecOptions{}) == nil {
+		t.Fatal("eligible query did not get an evaluator")
+	}
+	if summaryAggFor(db, plan, ExecOptions{NoSummaryAgg: true}) != nil {
+		t.Fatal("NoSummaryAgg did not disable the fast path")
+	}
+	db.SetSummary("m", nil)
+	if summaryAggFor(db, plan, ExecOptions{}) != nil {
+		t.Fatal("fast path survived summary unregistration")
+	}
+}
+
+// big128 reconstructs the signed 128-bit value (hi·2⁶⁴ + uint64(lo)) as a
+// big.Int for exact comparison.
+func big128(lo, hi int64) *big.Int {
+	v := new(big.Int).Lsh(big.NewInt(hi), 64)
+	return v.Add(v, new(big.Int).SetUint64(uint64(lo)))
+}
+
+// TestSummaryAgg128BitHelpers cross-checks the 128-bit arithmetic the fast
+// path sums with against math/big references on edge values.
+func TestSummaryAgg128BitHelpers(t *testing.T) {
+	for _, tc := range []struct{ a, b int64 }{
+		{0, 0}, {1, 1}, {-1, 1}, {-1, -1},
+		{math.MaxInt64, 2}, {math.MinInt64, 3}, {1 << 61, 1 << 2},
+		{-(1 << 61), 12345}, {987654321, -123456789},
+		{math.MaxInt64, math.MaxInt64}, {math.MinInt64, math.MinInt64},
+	} {
+		lo, hi := mul128(tc.a, tc.b)
+		want := new(big.Int).Mul(big.NewInt(tc.a), big.NewInt(tc.b))
+		if got := big128(lo, hi); got.Cmp(want) != 0 {
+			t.Errorf("mul128(%d,%d) = (%d,%d) = %s, want %s", tc.a, tc.b, lo, hi, got, want)
+		}
+		if f, want := sum128Float(lo, hi), float64(tc.a)*float64(tc.b); math.Abs(f-want) > math.Abs(want)*1e-9 {
+			t.Errorf("sum128Float(mul128(%d,%d)) = %g, want ≈ %g", tc.a, tc.b, f, want)
+		}
+		// mulAcc128 accumulates c copies of (lo,hi) onto a running pair.
+		// Its contract is bounded by the evaluator's use — Σ value·count
+		// with total count ≤ 2⁶³, which always fits 128 bits — so only
+		// check in-range accumulations.
+		wantAcc := new(big.Int).Add(big.NewInt(5), new(big.Int).Mul(want, big.NewInt(3)))
+		if wantAcc.BitLen() < 127 {
+			alo, ahi := mulAcc128(5, 0, lo, hi, 3)
+			if got := big128(alo, ahi); got.Cmp(wantAcc) != 0 {
+				t.Errorf("mulAcc128(5, 3×%s) = %s, want %s", want, got, wantAcc)
+			}
+		}
+	}
+	s := set(value.Ival(-3, 2), value.Ival(10, 14))
+	lo, hi := sumSet128(s)
+	var want int64
+	for _, iv := range s {
+		for v := iv.Lo; v < iv.Hi; v++ {
+			want += v
+		}
+	}
+	if hi != want>>63 || lo != want {
+		t.Fatalf("sumSet128(%v) = (%d,%d), want %d", s, lo, hi, want)
+	}
+	if f := sumSetFloat(s); f != float64(want) {
+		t.Fatalf("sumSetFloat(%v) = %g, want %d", s, f, want)
+	}
+}

@@ -321,7 +321,9 @@ func runCount(db *engine.Database, sql string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := engine.Execute(db, plan, engine.ExecOptions{})
+	// The count must come from actual regeneration (or materialized rows),
+	// not the summary-direct fast path this helper is meant to validate.
+	res, err := engine.Execute(db, plan, engine.ExecOptions{NoSummaryAgg: true})
 	if err != nil {
 		return 0, err
 	}

@@ -52,12 +52,12 @@ func E13GroupBy(w io.Writer, cfg Config, workerCounts []int) error {
 		if err != nil {
 			return err
 		}
-		ref, err := engine.ExecuteRows(regen, plan, engine.ExecOptions{SampleLimit: 1 << 20})
+		ref, err := engine.ExecuteRows(regen, plan, engine.ExecOptions{SampleLimit: 1 << 20, NoSummaryAgg: true})
 		if err != nil {
 			return err
 		}
 		for _, workers := range workerCounts {
-			opts := engine.ExecOptions{Parallelism: workers}
+			opts := engine.ExecOptions{Parallelism: workers, NoSummaryAgg: true}
 			exec := engine.Execute
 			if workers >= 1 {
 				exec = engine.ExecuteParallel
@@ -74,7 +74,7 @@ func E13GroupBy(w io.Writer, cfg Config, workerCounts []int) error {
 		}
 		// Sampled run: materialize every group row and hold it to the
 		// reference output (the byte-identical contract, not just counts).
-		res, err := engine.Execute(regen, plan, engine.ExecOptions{SampleLimit: 1 << 20})
+		res, err := engine.Execute(regen, plan, engine.ExecOptions{SampleLimit: 1 << 20, NoSummaryAgg: true})
 		if err != nil {
 			return err
 		}

@@ -71,14 +71,14 @@ func E11Parallel(w io.Writer, cfg Config, workers []int) error {
 
 	fmt.Fprintf(w, "E11: morsel-driven worker scaling (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
 	fmt.Fprintf(w, "query: %s (scan input %d rows)\n", sql, best)
-	seq, seqElapsed, err := timeExec(regen, plan, engine.ExecOptions{}, engine.Execute)
+	seq, seqElapsed, err := timeExec(regen, plan, engine.ExecOptions{NoSummaryAgg: true}, engine.Execute)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%-10s %-12s %-14s %-10s %-8s\n", "workers", "count", "elapsed", "rows/sec", "speedup")
 	fmt.Fprintf(w, "%-10s %-12d %-14v %-10.0f %-8s\n", "seq", seq.Count, seqElapsed.Round(time.Microsecond), float64(best)/seqElapsed.Seconds(), "1.00")
 	for _, n := range workers {
-		opts := engine.ExecOptions{Parallelism: n}
+		opts := engine.ExecOptions{Parallelism: n, NoSummaryAgg: true}
 		res, elapsed, err := timeExec(regen, plan, opts, engine.ExecuteParallel)
 		if err != nil {
 			return err

@@ -60,7 +60,7 @@ func E12Projection(w io.Writer, cfg Config) error {
 			return err
 		}
 		scanCols := len(plan.RequiredScanCols(v.sample > 0)["store_sales"])
-		opts := engine.ExecOptions{SampleLimit: v.sample}
+		opts := engine.ExecOptions{SampleLimit: v.sample, NoSummaryAgg: true}
 		res, elapsed, err := timeExec(regen, plan, opts, engine.Execute)
 		if err != nil {
 			return err

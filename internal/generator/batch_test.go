@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/batch"
-	"repro/internal/summary"
+	"repro/internal/synopsis"
 	"repro/internal/value"
 )
 
@@ -12,22 +12,22 @@ import (
 // a Count far larger than small batch capacities (so one summary row spans
 // several batches), zero-count rows between populated ones, and a final
 // partial batch.
-func edgeSummary() *summary.Relation {
-	return &summary.Relation{
+func edgeSummary() *synopsis.Relation {
+	return &synopsis.Relation{
 		Table: "t",
 		Total: 17,
-		Rows: []summary.Row{
-			{Count: 0, Specs: []summary.ColSpec{summary.FixedSpec(1, 1)}},
-			{Count: 11, Specs: []summary.ColSpec{
-				summary.FixedSpec(1, 42),
-				summary.SetSpec(2, value.NewIntervalSet(value.Ival(2, 4), value.Point(7))),
+		Rows: []synopsis.Row{
+			{Count: 0, Specs: []synopsis.ColSpec{synopsis.FixedSpec(1, 1)}},
+			{Count: 11, Specs: []synopsis.ColSpec{
+				synopsis.FixedSpec(1, 42),
+				synopsis.SetSpec(2, value.NewIntervalSet(value.Ival(2, 4), value.Point(7))),
 			}},
-			{Count: 0, Specs: []summary.ColSpec{summary.FixedSpec(1, 2)}},
-			{Count: 6, Specs: []summary.ColSpec{
-				summary.SetSpec(1, value.NewIntervalSet(value.Point(5))),
-				summary.SetSpec(2, value.NewIntervalSet(value.Ival(0, 10))),
+			{Count: 0, Specs: []synopsis.ColSpec{synopsis.FixedSpec(1, 2)}},
+			{Count: 6, Specs: []synopsis.ColSpec{
+				synopsis.SetSpec(1, value.NewIntervalSet(value.Point(5))),
+				synopsis.SetSpec(2, value.NewIntervalSet(value.Ival(0, 10))),
 			}},
-			{Count: 0, Specs: []summary.ColSpec{summary.FixedSpec(1, 3)}},
+			{Count: 0, Specs: []synopsis.ColSpec{synopsis.FixedSpec(1, 3)}},
 		},
 	}
 }
@@ -82,7 +82,7 @@ func TestNextBatchMatchesNext(t *testing.T) {
 }
 
 func TestNextBatchEmptyRelation(t *testing.T) {
-	s := NewStream(genTable(), &summary.Relation{Table: "t"})
+	s := NewStream(genTable(), &synopsis.Relation{Table: "t"})
 	b := batch.New(s.Cols(), 8)
 	if s.NextBatch(b) {
 		t.Fatal("empty relation produced a batch")
@@ -91,8 +91,8 @@ func TestNextBatchEmptyRelation(t *testing.T) {
 		t.Fatalf("batch holds %d rows after exhausted NextBatch", b.Len())
 	}
 	// All-zero-count rows are exhausted without producing anything either.
-	s = NewStream(genTable(), &summary.Relation{Table: "t", Rows: []summary.Row{
-		{Count: 0, Specs: []summary.ColSpec{summary.FixedSpec(1, 1)}},
+	s = NewStream(genTable(), &synopsis.Relation{Table: "t", Rows: []synopsis.Row{
+		{Count: 0, Specs: []synopsis.ColSpec{synopsis.FixedSpec(1, 1)}},
 	}})
 	if s.NextBatch(b) {
 		t.Fatal("zero-count relation produced a batch")
@@ -103,10 +103,10 @@ func TestNextBatchCountSpansTiles(t *testing.T) {
 	// A single summary row far larger than the tiling granularity: the
 	// cycling cursor must stay aligned across tile and batch boundaries.
 	set := value.NewIntervalSet(value.Ival(10, 13), value.Point(20), value.Ival(30, 32))
-	rel := &summary.Relation{Table: "t", Total: 5000, Rows: []summary.Row{
-		{Count: 5000, Specs: []summary.ColSpec{
-			summary.FixedSpec(1, 9),
-			summary.SetSpec(2, set),
+	rel := &synopsis.Relation{Table: "t", Total: 5000, Rows: []synopsis.Row{
+		{Count: 5000, Specs: []synopsis.ColSpec{
+			synopsis.FixedSpec(1, 9),
+			synopsis.SetSpec(2, set),
 		}},
 	}}
 	tbl := genTable()

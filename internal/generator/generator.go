@@ -19,7 +19,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/schema"
-	"repro/internal/summary"
+	"repro/internal/synopsis"
 	"repro/internal/value"
 )
 
@@ -38,7 +38,7 @@ import (
 // morsel-driven executor fan generation out across workers.
 type Stream struct {
 	table *schema.Table
-	rel   *summary.Relation
+	rel   *synopsis.Relation
 	pkIdx int
 
 	base int64 // first global tuple index this stream produces
@@ -62,8 +62,8 @@ type Stream struct {
 	cursor int     // offset of the next row within flat
 }
 
-// NewStream opens a generation stream over a relation summary.
-func NewStream(t *schema.Table, rel *summary.Relation) *Stream {
+// NewStream opens a generation stream over a relation synopsis.
+func NewStream(t *schema.Table, rel *synopsis.Relation) *Stream {
 	return &Stream{
 		table: t,
 		rel:   rel,

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"repro/internal/schema"
-	"repro/internal/summary"
+	"repro/internal/synopsis"
 	"repro/internal/value"
 )
 
@@ -21,18 +21,18 @@ func genTable() *schema.Table {
 	}
 }
 
-func genSummary() *summary.Relation {
-	return &summary.Relation{
+func genSummary() *synopsis.Relation {
+	return &synopsis.Relation{
 		Table: "t",
 		Total: 7,
-		Rows: []summary.Row{
-			{Count: 3, Specs: []summary.ColSpec{
-				summary.FixedSpec(1, 42),
-				summary.SetSpec(2, value.NewIntervalSet(value.Ival(2, 4))),
+		Rows: []synopsis.Row{
+			{Count: 3, Specs: []synopsis.ColSpec{
+				synopsis.FixedSpec(1, 42),
+				synopsis.SetSpec(2, value.NewIntervalSet(value.Ival(2, 4))),
 			}},
-			{Count: 4, Specs: []summary.ColSpec{
-				summary.FixedSpec(1, 7),
-				summary.SetSpec(2, value.NewIntervalSet(value.Point(9))),
+			{Count: 4, Specs: []synopsis.ColSpec{
+				synopsis.FixedSpec(1, 7),
+				synopsis.SetSpec(2, value.NewIntervalSet(value.Point(9))),
 			}},
 		},
 	}
@@ -75,15 +75,15 @@ func TestStreamExpandsRows(t *testing.T) {
 }
 
 func TestStreamEmptySummary(t *testing.T) {
-	s := NewStream(genTable(), &summary.Relation{Table: "t"})
+	s := NewStream(genTable(), &synopsis.Relation{Table: "t"})
 	if _, ok := s.Next(); ok {
 		t.Error("empty summary produced a row")
 	}
 }
 
 func TestPacedRate(t *testing.T) {
-	rel := &summary.Relation{Table: "t", Total: 400, Rows: []summary.Row{
-		{Count: 400, Specs: []summary.ColSpec{summary.FixedSpec(1, 1), summary.FixedSpec(2, 2)}},
+	rel := &synopsis.Relation{Table: "t", Total: 400, Rows: []synopsis.Row{
+		{Count: 400, Specs: []synopsis.ColSpec{synopsis.FixedSpec(1, 1), synopsis.FixedSpec(2, 2)}},
 	}}
 	p := NewPaced(NewStream(genTable(), rel), 1000) // 1000 rows/sec
 	start := time.Now()

@@ -6,13 +6,13 @@ import (
 	"io"
 
 	"repro/internal/schema"
-	"repro/internal/summary"
+	"repro/internal/synopsis"
 )
 
 // Materialize writes the relation's regenerated tuples as CSV (header plus
 // decoded values) — the demo's optional "materialize" runtime mode. It
 // returns the number of rows written.
-func Materialize(w io.Writer, t *schema.Table, rel *summary.Relation) (int64, error) {
+func Materialize(w io.Writer, t *schema.Table, rel *synopsis.Relation) (int64, error) {
 	cw := csv.NewWriter(w)
 	header := make([]string, len(t.Columns))
 	for i, c := range t.Columns {

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
-	"repro/internal/summary"
+	"repro/internal/synopsis"
 	"repro/internal/value"
 )
 
@@ -31,22 +31,22 @@ func sameRows(t *testing.T, label string, got, want [][]int64) {
 // bigCyclingSummary exercises seeks landing mid-cycling-interval: one
 // summary row whose multi-interval cycling set length (6) does not divide
 // the row count, preceded and followed by other rows.
-func bigCyclingSummary() *summary.Relation {
-	return &summary.Relation{
+func bigCyclingSummary() *synopsis.Relation {
+	return &synopsis.Relation{
 		Table: "t",
 		Total: 913,
-		Rows: []summary.Row{
-			{Count: 5, Specs: []summary.ColSpec{
-				summary.FixedSpec(1, 7),
-				summary.SetSpec(2, value.NewIntervalSet(value.Ival(0, 3))),
+		Rows: []synopsis.Row{
+			{Count: 5, Specs: []synopsis.ColSpec{
+				synopsis.FixedSpec(1, 7),
+				synopsis.SetSpec(2, value.NewIntervalSet(value.Ival(0, 3))),
 			}},
-			{Count: 901, Specs: []summary.ColSpec{
-				summary.FixedSpec(1, 42),
-				summary.SetSpec(2, value.NewIntervalSet(value.Ival(10, 13), value.Point(20), value.Ival(30, 32))),
+			{Count: 901, Specs: []synopsis.ColSpec{
+				synopsis.FixedSpec(1, 42),
+				synopsis.SetSpec(2, value.NewIntervalSet(value.Ival(10, 13), value.Point(20), value.Ival(30, 32))),
 			}},
-			{Count: 7, Specs: []summary.ColSpec{
-				summary.SetSpec(1, value.NewIntervalSet(value.Point(5))),
-				summary.SetSpec(2, value.NewIntervalSet(value.Ival(0, 10))),
+			{Count: 7, Specs: []synopsis.ColSpec{
+				synopsis.SetSpec(1, value.NewIntervalSet(value.Point(5))),
+				synopsis.SetSpec(2, value.NewIntervalSet(value.Ival(0, 10))),
 			}},
 		},
 	}
@@ -54,19 +54,19 @@ func bigCyclingSummary() *summary.Relation {
 
 // singleRowSummary has one tuple per summary row (the shape dimension
 // relations with singleton atoms produce).
-func singleRowSummary() *summary.Relation {
-	rows := make([]summary.Row, 9)
+func singleRowSummary() *synopsis.Relation {
+	rows := make([]synopsis.Row, 9)
 	for i := range rows {
-		rows[i] = summary.Row{Count: 1, Specs: []summary.ColSpec{
-			summary.FixedSpec(1, int64(i*3)),
-			summary.SetSpec(2, value.NewIntervalSet(value.Ival(int64(i), int64(i)+2))),
+		rows[i] = synopsis.Row{Count: 1, Specs: []synopsis.ColSpec{
+			synopsis.FixedSpec(1, int64(i*3)),
+			synopsis.SetSpec(2, value.NewIntervalSet(value.Ival(int64(i), int64(i)+2))),
 		}}
 	}
-	return &summary.Relation{Table: "t", Total: 9, Rows: rows}
+	return &synopsis.Relation{Table: "t", Total: 9, Rows: rows}
 }
 
-func partitionSummaries() map[string]*summary.Relation {
-	return map[string]*summary.Relation{
+func partitionSummaries() map[string]*synopsis.Relation {
+	return map[string]*synopsis.Relation{
 		"edge":      edgeSummary(),
 		"cycling":   bigCyclingSummary(),
 		"singleRow": singleRowSummary(),
@@ -203,10 +203,10 @@ func TestPacedBatchScheduleExact(t *testing.T) {
 	run := func(name string, wrap func(*Stream) interface {
 		Next() ([]int64, bool)
 	}) {
-		rel := &summary.Relation{Table: "t", Total: 10, Rows: []summary.Row{
-			{Count: 10, Specs: []summary.ColSpec{
-				summary.FixedSpec(1, 1),
-				summary.SetSpec(2, value.NewIntervalSet(value.Ival(0, 3))),
+		rel := &synopsis.Relation{Table: "t", Total: 10, Rows: []synopsis.Row{
+			{Count: 10, Specs: []synopsis.ColSpec{
+				synopsis.FixedSpec(1, 1),
+				synopsis.SetSpec(2, value.NewIntervalSet(value.Ival(0, 3))),
 			}},
 		}}
 		p := NewPaced(wrap(NewStream(genTable(), rel)), 1) // 1 row/sec

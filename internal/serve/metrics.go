@@ -72,6 +72,7 @@ var opSelfBuckets = []float64{
 var operatorNames = []string{
 	"SCAN", "FILTER", "HASH JOIN", "AGGREGATE",
 	"GROUP AGG", "DISTINCT", "SORT", "LIMIT",
+	"SUMMARY AGG",
 }
 
 // histogram is a fixed-bucket duration histogram safe for concurrent
@@ -113,6 +114,9 @@ type metrics struct {
 	resultRows    atomic.Int64
 	batches       atomic.Int64
 	cacheBuildNS  atomic.Int64
+	// summaryAggQueries counts queries answered by the summary-direct
+	// aggregate fast path (ExecResult.Path == "summary").
+	summaryAggQueries atomic.Int64
 }
 
 type outcomeSeries struct {
@@ -155,6 +159,9 @@ func (m *metrics) recordShed(reason string) { m.shed[reason].Add(1) }
 // tree.
 func (m *metrics) observeQuery(res *engine.ExecResult, elapsed time.Duration) {
 	m.resultRows.Add(res.Rows)
+	if res.Path == engine.PathSummary {
+		m.summaryAggQueries.Add(1)
+	}
 	var scanRows int64
 	var walk func(n *engine.ExecNode)
 	walk = func(n *engine.ExecNode) {
@@ -281,6 +288,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP hydra_engine_batches_total Operator output batches observed by traced executions.\n")
 	fmt.Fprintf(&b, "# TYPE hydra_engine_batches_total counter\n")
 	fmt.Fprintf(&b, "hydra_engine_batches_total %d\n", s.met.batches.Load())
+
+	fmt.Fprintf(&b, "# HELP hydra_summaryagg_queries_total Queries answered by the summary-direct aggregate fast path (no tuple regeneration).\n")
+	fmt.Fprintf(&b, "# TYPE hydra_summaryagg_queries_total counter\n")
+	fmt.Fprintf(&b, "hydra_summaryagg_queries_total %d\n", s.met.summaryAggQueries.Load())
 
 	fmt.Fprintf(&b, "# HELP hydra_plan_cache_build_seconds_total Wall time spent parsing, planning, and building (cache misses and bypasses).\n")
 	fmt.Fprintf(&b, "# TYPE hydra_plan_cache_build_seconds_total counter\n")

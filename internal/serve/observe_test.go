@@ -232,7 +232,9 @@ func TestServeObservabilityMetrics(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	sql := toy.Workload()[1]
+	// A join query regenerates (the summary-direct fast path only claims
+	// single-table aggregates), so SCAN spans and generation counters move.
+	sql := toy.Workload()[3]
 	if resp, _ := postQueryReq(t, ts.URL, QueryRequest{SQL: sql}, nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
@@ -276,6 +278,77 @@ func TestServeObservabilityMetrics(t *testing.T) {
 				t.Fatalf("rows-generated counter not advanced: %s", line)
 			}
 		}
+	}
+}
+
+// TestServeSummaryAggPath pins the serve surface of the summary-direct
+// fast path: the response's "path" field says how each query was answered,
+// the /statsz ring records it, hydra_summaryagg_queries_total counts the
+// summary-answered population, and an approx request gets its own
+// plan-cache entry plus estimation info when estimation actually happened.
+func TestServeSummaryAggPath(t *testing.T) {
+	sum := buildToySummary(t)
+	srv := New(sum, Options{SampleLimit: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A single-table aggregate is answered summary-directly; a join
+	// regenerates. Both report their path.
+	fastSQL := "SELECT COUNT(*) FROM s WHERE s.a >= 20 AND s.a < 60"
+	resp, qr := postQueryReq(t, ts.URL, QueryRequest{SQL: fastSQL}, nil)
+	if resp.StatusCode != http.StatusOK || qr.Path != "summary" {
+		t.Fatalf("eligible aggregate: status %d path %q, want 200 %q", resp.StatusCode, qr.Path, "summary")
+	}
+	want := seqCount(t, sum, fastSQL)
+	if qr.Count != want.Count {
+		t.Fatalf("summary-path count %d, want %d", qr.Count, want.Count)
+	}
+	if qr.Approx != nil {
+		t.Fatalf("exact summary answer carries approx info %+v", qr.Approx)
+	}
+	joinSQL := toy.Workload()[3]
+	resp, qr = postQueryReq(t, ts.URL, QueryRequest{SQL: joinSQL}, nil)
+	if resp.StatusCode != http.StatusOK || qr.Path != "regen" {
+		t.Fatalf("join: status %d path %q, want 200 %q", resp.StatusCode, qr.Path, "regen")
+	}
+
+	// An approx request on an exactly answerable query stays exact (no
+	// approx payload) but must not share the exact request's cache entry.
+	resp, qr = postQueryReq(t, ts.URL, QueryRequest{SQL: fastSQL, Approx: true}, nil)
+	if resp.StatusCode != http.StatusOK || qr.Path != "summary" || qr.Approx != nil {
+		t.Fatalf("approx-eligible exact query: status %d path %q approx %+v", resp.StatusCode, qr.Path, qr.Approx)
+	}
+	if qr.Cache != "miss" {
+		t.Fatalf("approx request reused the exact entry (cache %q, want miss)", qr.Cache)
+	}
+	if qr.Count != want.Count {
+		t.Fatalf("approx-mode exact count %d, want %d", qr.Count, want.Count)
+	}
+
+	// The /statsz ring remembers each query's path (newest first).
+	stats := getStats(t, ts.URL)
+	if len(stats.Recent) < 3 {
+		t.Fatalf("statsz ring holds %d entries, want >= 3", len(stats.Recent))
+	}
+	byNewest := []string{"summary", "regen", "summary"}
+	for i, wantPath := range byNewest {
+		if got := stats.Recent[i].Path; got != wantPath {
+			t.Fatalf("statsz recent[%d] path %q, want %q (%s)", i, got, wantPath, stats.Recent[i].SQL)
+		}
+	}
+
+	// The metric counted exactly the two summary-answered queries.
+	mresp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	data, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "hydra_summaryagg_queries_total 2"; !strings.Contains(string(data), want+"\n") {
+		t.Fatalf("/metricsz missing %q", want)
 	}
 }
 

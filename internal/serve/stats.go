@@ -19,6 +19,10 @@ type QuerySummary struct {
 	Cache     string `json:"cache,omitempty"`
 	ElapsedNS int64  `json:"elapsed_ns"`
 	Rows      int64  `json:"rows"`
+	// Path says how the query was answered: "summary" when the
+	// summary-direct aggregate fast path proved the answer from summary-row
+	// arithmetic, "regen" when tuples were regenerated.
+	Path string `json:"path,omitempty"`
 	// TopOp is the operator with the largest self time when the query was
 	// traced, else the plan's root operator.
 	TopOp string `json:"top_op,omitempty"`

@@ -189,6 +189,72 @@ func (s IntervalSet) Intersect(other IntervalSet) IntervalSet {
 	return out
 }
 
+// IntersectInto writes the intersection of two canonical sets into dst
+// (truncated to length zero first) and returns it — the allocation-free
+// form of Intersect for hot paths that own a reusable buffer. dst must not
+// alias s or other.
+func (s IntervalSet) IntersectInto(dst IntervalSet, other IntervalSet) IntervalSet {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(s) && j < len(other) {
+		x := s[i].Intersect(other[j])
+		if !x.Empty() {
+			dst = append(dst, x)
+		}
+		if s[i].Hi < other[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return dst
+}
+
+// IntersectLen returns the number of integer points the two canonical sets
+// share — Intersect(other).Len() without materializing the intersection.
+// This is the cardinality primitive the summary-direct aggregate path leans
+// on; the fuzz suite holds it to a brute-force reference.
+func (s IntervalSet) IntersectLen(other IntervalSet) int64 {
+	var n int64
+	i, j := 0, 0
+	for i < len(s) && j < len(other) {
+		x := s[i].Intersect(other[j])
+		n += x.Len()
+		if s[i].Hi < other[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// PrefixInto writes the first k points (in ascending order) of a canonical
+// set into dst (truncated to length zero first) and returns it, in
+// canonical form. k <= 0 yields an empty set; k >= Len() yields the whole
+// set. dst must not alias s.
+func (s IntervalSet) PrefixInto(dst IntervalSet, k int64) IntervalSet {
+	dst = dst[:0]
+	for _, iv := range s {
+		if k <= 0 {
+			break
+		}
+		n := iv.Len()
+		if n > k {
+			n = k
+		}
+		dst = append(dst, Interval{Lo: iv.Lo, Hi: iv.Lo + n})
+		k -= n
+	}
+	return dst
+}
+
+// Min returns the smallest point of a non-empty canonical set.
+func (s IntervalSet) Min() int64 { return s[0].Lo }
+
+// Max returns the largest point of a non-empty canonical set.
+func (s IntervalSet) Max() int64 { return s[len(s)-1].Hi - 1 }
+
 // Subtract returns the points of s not in other (both canonical).
 func (s IntervalSet) Subtract(other IntervalSet) IntervalSet {
 	var out IntervalSet

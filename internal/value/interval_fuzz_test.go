@@ -1,0 +1,149 @@
+package value
+
+import (
+	"testing"
+)
+
+// The summary-direct aggregate fast path answers COUNT/SUM/MIN/MAX from
+// IntervalSet arithmetic alone, so the cardinality primitives here are
+// load-bearing for query correctness, not just for planning. The fuzz
+// targets decode a byte string into two small interval sets, normalize
+// them, and hold IntersectLen / IntersectInto / PrefixInto to brute-force
+// references over the enumerated points.
+
+// decodeSets turns fuzz bytes into two interval sets over a small domain.
+// Each pair of bytes becomes one interval [lo, lo+w) with lo in [-32, 31]
+// and w in [0, 15] (empty intervals included, so Normalize is exercised);
+// the first half of the pairs feeds set a, the second half set b.
+func decodeSets(data []byte) (a, b IntervalSet) {
+	var ivs []Interval
+	for i := 0; i+1 < len(data); i += 2 {
+		lo := int64(int8(data[i])) % 32
+		w := int64(data[i+1] % 16)
+		ivs = append(ivs, Interval{Lo: lo, Hi: lo + w})
+	}
+	half := len(ivs) / 2
+	return IntervalSet(ivs[:half]).Normalize(), IntervalSet(ivs[half:]).Normalize()
+}
+
+// enumerate lists the points of a canonical set.
+func enumerate(s IntervalSet) []int64 {
+	var out []int64
+	for _, iv := range s {
+		for v := iv.Lo; v < iv.Hi; v++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func checkCanonical(t *testing.T, s IntervalSet, what string) {
+	t.Helper()
+	for i, iv := range s {
+		if iv.Empty() {
+			t.Fatalf("%s: interval %d %s is empty", what, i, iv)
+		}
+		if i > 0 && s[i-1].Hi >= iv.Lo {
+			t.Fatalf("%s: intervals %d and %d overlap or touch: %s", what, i-1, i, s)
+		}
+	}
+}
+
+func FuzzIntersectLen(f *testing.F) {
+	f.Add([]byte{0, 8, 4, 8})
+	f.Add([]byte{0, 4, 2, 4, 1, 8, 3, 2})
+	f.Add([]byte{255, 15, 0, 0, 10, 3, 250, 9, 5, 5, 7, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeSets(data)
+		checkCanonical(t, a, "a")
+		checkCanonical(t, b, "b")
+
+		// Brute-force reference: count shared points by membership.
+		inB := make(map[int64]bool)
+		for _, v := range enumerate(b) {
+			inB[v] = true
+		}
+		var want int64
+		for _, v := range enumerate(a) {
+			if inB[v] {
+				want++
+			}
+		}
+
+		if got := a.IntersectLen(b); got != want {
+			t.Fatalf("IntersectLen(%s, %s) = %d, want %d", a, b, got, want)
+		}
+		if got := b.IntersectLen(a); got != want {
+			t.Fatalf("IntersectLen(%s, %s) = %d, want %d (asymmetric)", b, a, got, want)
+		}
+		// IntersectLen must agree with the materializing Intersect and the
+		// allocation-free IntersectInto.
+		x := a.Intersect(b)
+		checkCanonical(t, x, "Intersect")
+		if x.Len() != want {
+			t.Fatalf("Intersect(%s, %s).Len() = %d, want %d", a, b, x.Len(), want)
+		}
+		into := a.IntersectInto(make(IntervalSet, 0, 4), b)
+		if !into.Equal(x) {
+			t.Fatalf("IntersectInto(%s, %s) = %s, want %s", a, b, into, x)
+		}
+	})
+}
+
+func FuzzPrefixInto(f *testing.F) {
+	f.Add([]byte{0, 8, 4, 8}, int64(3))
+	f.Add([]byte{255, 15, 3, 2, 9, 9, 1, 1}, int64(11))
+	f.Fuzz(func(t *testing.T, data []byte, k int64) {
+		a, b := decodeSets(data)
+		s := a.Union(b) // one richer canonical set
+		if k > 1<<16 {
+			k %= 1 << 16
+		}
+		got := s.PrefixInto(make(IntervalSet, 0, 4), k)
+		checkCanonical(t, got, "PrefixInto")
+
+		pts := enumerate(s)
+		wantN := k
+		if wantN < 0 {
+			wantN = 0
+		}
+		if wantN > int64(len(pts)) {
+			wantN = int64(len(pts))
+		}
+		if got.Len() != wantN {
+			t.Fatalf("PrefixInto(%s, %d).Len() = %d, want %d", s, k, got.Len(), wantN)
+		}
+		for i := int64(0); i < wantN; i++ {
+			if !got.Contains(pts[i]) {
+				t.Fatalf("PrefixInto(%s, %d) = %s: missing point %d", s, k, got, pts[i])
+			}
+		}
+		if !s.ContainsSet(got) {
+			t.Fatalf("PrefixInto(%s, %d) = %s is not a subset", s, k, got)
+		}
+	})
+}
+
+// FuzzSetAlgebra cross-checks the set operations the fast path composes
+// (intersect, prefix, contains) against point-wise enumeration on one pair.
+func FuzzSetAlgebra(f *testing.F) {
+	f.Add([]byte{0, 8, 4, 8, 2, 2, 6, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeSets(data)
+		x := a.Intersect(b)
+		for v := int64(-40); v < 56; v++ {
+			want := a.Contains(v) && b.Contains(v)
+			if got := x.Contains(v); got != want {
+				t.Fatalf("(%s ∩ %s).Contains(%d) = %v, want %v", a, b, v, got, want)
+			}
+		}
+		if !a.Empty() {
+			if a.Min() != a.At(0) {
+				t.Fatalf("%s: Min %d != At(0) %d", a, a.Min(), a.At(0))
+			}
+			if a.Max() != a.At(a.Len()-1) {
+				t.Fatalf("%s: Max %d != At(len-1) %d", a, a.Max(), a.At(a.Len()-1))
+			}
+		}
+	})
+}

@@ -55,7 +55,10 @@ func Verify(db *engine.Database, workload []*aqp.AQP) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("verify: query %d: %w", qi, err)
 		}
-		res, err := engine.Execute(db, plan, engine.ExecOptions{})
+		// Verification compares full operator trees edge by edge, so the
+		// summary-direct fast path (which collapses the tree to one node)
+		// must stand aside: regeneration is the thing being verified.
+		res, err := engine.Execute(db, plan, engine.ExecOptions{NoSummaryAgg: true})
 		if err != nil {
 			return nil, fmt.Errorf("verify: query %d: %w", qi, err)
 		}

@@ -39,7 +39,10 @@ func TestExecuteInDatalessParity(t *testing.T) {
 	db := core.RegenDatabase(sum, 0)
 	queries := append(toy.Workload(), toy.GroupWorkload()...)
 	for _, sql := range append(queries, toy.SortWorkload()...) {
-		want, err := Query(db, sql, ExecOptions{SampleLimit: 4})
+		// The reference result is pinned to the regenerating pipeline, so
+		// this parity run also crosses paths: ExecuteIn answers eligible
+		// aggregates summary-directly and must agree byte for byte.
+		want, err := Query(db, sql, ExecOptions{SampleLimit: 4, NoSummaryAgg: true})
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
@@ -80,18 +83,21 @@ func TestExecuteInDatalessParity(t *testing.T) {
 func TestSteadyStateZeroAlloc(t *testing.T) {
 	sum := toySummary(t)
 	db := core.RegenDatabase(sum, 0)
-	prep, err := Prepare(db, "SELECT COUNT(*) FROM s WHERE s.a >= 20 AND s.a < 60", ExecOptions{})
+	// NoSummaryAgg keeps this audit on the regenerating pipeline it was
+	// written for; the summary-direct path has its own audit below.
+	opts := ExecOptions{NoSummaryAgg: true}
+	prep, err := Prepare(db, "SELECT COUNT(*) FROM s WHERE s.a >= 20 AND s.a < 60", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var st engine.ExecState
-	res, err := prep.ExecuteIn(&st, ExecOptions{})
+	res, err := prep.ExecuteIn(&st, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := res.Count
 	allocs := testing.AllocsPerRun(200, func() {
-		res, err := prep.ExecuteIn(&st, ExecOptions{})
+		res, err := prep.ExecuteIn(&st, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,6 +110,47 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSteadyStateZeroAllocSummaryAgg pins the same contract on the
+// summary-direct fast path: after the first ExecuteIn builds and proves the
+// evaluator, repeated executions — filtered count and grouped
+// multi-aggregate alike — reuse its scratch interval sets and the shared
+// aggregation state, allocating nothing. This is the "summary_steady" row
+// "hydra bench -json" enforces in CI.
+func TestSteadyStateZeroAllocSummaryAgg(t *testing.T) {
+	sum := toySummary(t)
+	db := core.RegenDatabase(sum, 0)
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM s WHERE s.a >= 20 AND s.a < 60",
+		"SELECT s.a, COUNT(*), SUM(s.b), MIN(s.b), MAX(s.b), AVG(s.b) FROM s WHERE s.a < 60 GROUP BY s.a",
+	} {
+		prep, err := Prepare(db, sql, ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		var st engine.ExecState
+		res, err := prep.ExecuteIn(&st, ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if res.Path != engine.PathSummary {
+			t.Fatalf("%s: answered via %q, want the summary-direct path", sql, res.Path)
+		}
+		wantRows, wantCount := res.Rows, res.Count
+		allocs := testing.AllocsPerRun(200, func() {
+			res, err := prep.ExecuteIn(&st, ExecOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rows != wantRows || res.Count != wantCount {
+				t.Fatalf("result drifted: %d/%d, want %d/%d", res.Rows, res.Count, wantRows, wantCount)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: summary-direct steady state allocates %.2f objects per query, want 0", sql, allocs)
+		}
+	}
+}
+
 // TestSteadyStateZeroAllocGroupBy extends the zero-allocation audit to the
 // grouped pipeline: after warmup, repeated ExecuteIn of a GROUP BY /
 // multi-aggregate query recycles the hash-agg state — open-addressed group
@@ -111,12 +158,13 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 func TestSteadyStateZeroAllocGroupBy(t *testing.T) {
 	sum := toySummary(t)
 	db := core.RegenDatabase(sum, 0)
-	prep, err := Prepare(db, "SELECT s.a, COUNT(*), SUM(s.b), MIN(s.b), MAX(s.b), AVG(s.b) FROM s WHERE s.a < 60 GROUP BY s.a", ExecOptions{})
+	opts := ExecOptions{NoSummaryAgg: true}
+	prep, err := Prepare(db, "SELECT s.a, COUNT(*), SUM(s.b), MIN(s.b), MAX(s.b), AVG(s.b) FROM s WHERE s.a < 60 GROUP BY s.a", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var st engine.ExecState
-	res, err := prep.ExecuteIn(&st, ExecOptions{})
+	res, err := prep.ExecuteIn(&st, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +173,7 @@ func TestSteadyStateZeroAllocGroupBy(t *testing.T) {
 		t.Fatal("grouped steady-state query produced no groups")
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		res, err := prep.ExecuteIn(&st, ExecOptions{})
+		res, err := prep.ExecuteIn(&st, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -240,6 +240,30 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 	}
 }
 
+// TestExplainAnalyzeSummaryAggGolden pins the rendered EXPLAIN ANALYZE
+// output when the summary-direct fast path answers: a single SUMMARY AGG
+// span naming the table and how many summary rows the evaluator walked,
+// with the one output row it produced.
+func TestExplainAnalyzeSummaryAggGolden(t *testing.T) {
+	sum := toySummary(t)
+	db := core.RegenDatabase(sum, 0)
+	res, err := Query(db, "EXPLAIN ANALYZE SELECT COUNT(*) FROM s WHERE s.a >= 20 AND s.a < 60", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Path != engine.PathSummary {
+		t.Fatalf("explain query took path %q, want the summary-direct path", res.Path)
+	}
+	if res.Trace == nil {
+		t.Fatal("EXPLAIN ANALYZE returned no trace")
+	}
+	got := scrubTimings(RenderTrace(res.Trace))
+	want := "SUMMARY AGG s [5 summary rows]  (time=X self=X rows=1 batches=1 bytes=8)\n"
+	if got != want {
+		t.Fatalf("summary-direct EXPLAIN ANALYZE render drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // TestRenderTraceParallelShape pins that the parallel front renders the
 // same tree shape (ops and cardinalities) as sequential execution — the
 // mode-invariance the span merge exists for.
