@@ -1,0 +1,23 @@
+// Command hydralint is the engine's invariant multichecker (DESIGN.md §12).
+//
+// Standalone:
+//
+//	hydralint ./...                # analyze packages, print diagnostics
+//	hydralint -hotpath=true ./...  # run a subset (go vet flag convention)
+//
+// Under the go command, which additionally covers test compilation units:
+//
+//	go build -o bin/hydralint ./cmd/hydralint
+//	go vet -vettool=$(pwd)/bin/hydralint ./...
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 driver failure.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/lintkit"
+)
+
+func main() {
+	lintkit.Main("hydralint", analysis.All())
+}

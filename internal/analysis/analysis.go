@@ -1,0 +1,25 @@
+// Package analysis registers the hydralint analyzer suite — the
+// machine-checked form of the engine invariants DESIGN.md §12 enumerates.
+// cmd/hydralint compiles All() into a multichecker; the per-analyzer
+// packages carry their own analysistest-style suites.
+package analysis
+
+import (
+	"repro/internal/analysis/ctxfield"
+	"repro/internal/analysis/deferrederr"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lockscope"
+	"repro/internal/analysis/sentinelerr"
+)
+
+// All returns the full suite in stable order.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		ctxfield.Analyzer,
+		deferrederr.Analyzer,
+		hotpath.Analyzer,
+		lockscope.Analyzer,
+		sentinelerr.Analyzer,
+	}
+}

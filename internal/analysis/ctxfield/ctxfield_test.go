@@ -1,0 +1,19 @@
+package ctxfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ctxfield"
+	"repro/internal/analysis/linttest"
+)
+
+func TestCtxField(t *testing.T) {
+	linttest.Run(t, ctxfield.Analyzer, "a")
+}
+
+// TestIgnoreDirective runs the same analyzer over a package whose only
+// violation carries a //hydralint:ignore, plus one malformed directive —
+// exercising the driver-level suppression path end to end.
+func TestIgnoreDirective(t *testing.T) {
+	linttest.Run(t, ctxfield.Analyzer, "ignored")
+}

@@ -1,0 +1,18 @@
+// Package ignored exercises the //hydralint:ignore suppression path: the
+// deliberate violation in hardStop is silenced by a directive carrying a
+// reason, while the undirected violation in sloppy still fires — the
+// suppression is per-line, not per-file.
+package ignored
+
+import "context"
+
+// hardStop deliberately pins a context: it outlives individual requests by
+// design, mirroring the serve tier's CancelInFlight plumbing.
+type hardStop struct {
+	//hydralint:ignore ctxfield process-lifetime context, cancelled only on shutdown
+	ctx context.Context
+}
+
+type sloppy struct {
+	ctx context.Context // want `context\.Context stored in struct sloppy`
+}

@@ -1,0 +1,259 @@
+// Package deferrederr checks the engine's single error convention on
+// iterator pipelines (PR 5): Next returns only bool, and failures surface
+// through deferredErr() after the drain. Three rules:
+//
+//  1. A package-local type implementing every method of a convention
+//     interface (a package-local interface that declares
+//     `deferredErr() error` alongside other methods) except deferredErr
+//     itself is a near miss — it would satisfy the iteration surface while
+//     silently swallowing errors. Flagged on the type.
+//
+//  2. A type with a deferredErr method whose struct holds a field of
+//     convention-interface type must call that field's deferredErr() inside
+//     its own deferredErr body — wrapper iterators must propagate their
+//     child's deferred error, not just their own.
+//
+//  3. A package-local driver — a function whose name starts with "run" and
+//     that takes a convention-interface parameter — must call deferredErr()
+//     somewhere in its body: draining an iterator without checking its
+//     deferred error loses the failure.
+//
+// Test files are skipped.
+package deferrederr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "deferrederr",
+	Doc:  "iterator types and drivers must implement and propagate deferredErr",
+	Run:  run,
+}
+
+const methodName = "deferredErr"
+
+func run(pass *lintkit.Pass) error {
+	ifaces := conventionInterfaces(pass.Pkg)
+	if len(ifaces) == 0 {
+		return nil
+	}
+	checkNearMisses(pass, ifaces)
+	checkPropagation(pass, ifaces)
+	checkDrivers(pass, ifaces)
+	return nil
+}
+
+// conventionInterfaces returns the package-local interfaces that declare
+// deferredErr() error among at least two methods.
+func conventionInterfaces(pkg *types.Package) map[*types.Named]*types.Interface {
+	out := make(map[*types.Named]*types.Interface)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		iface, ok := named.Underlying().(*types.Interface)
+		if !ok || iface.NumMethods() < 2 {
+			continue
+		}
+		if m := methodByName(iface, methodName); m != nil && isErrGetter(m) {
+			out[named] = iface
+		}
+	}
+	return out
+}
+
+func methodByName(iface *types.Interface, name string) *types.Func {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if m := iface.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// isErrGetter reports whether fn has the shape func() error.
+func isErrGetter(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// checkNearMisses flags package-local concrete types that implement every
+// method of a convention interface except deferredErr.
+func checkNearMisses(pass *lintkit.Pass, ifaces map[*types.Named]*types.Interface) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() || types.IsInterface(tn.Type()) {
+			continue
+		}
+		if pass.InTestFile(tn.Pos()) {
+			continue
+		}
+		recv := types.Type(types.NewPointer(tn.Type()))
+		for in, iface := range ifaces {
+			if types.Implements(recv, iface) || types.Implements(tn.Type(), iface) {
+				continue
+			}
+			missing := 0
+			hasRest := true
+			for i := 0; i < iface.NumMethods(); i++ {
+				m := iface.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(recv, true, pass.Pkg, m.Name())
+				found, ok := obj.(*types.Func)
+				satisfied := ok && types.Identical(found.Type().(*types.Signature), m.Type().(*types.Signature))
+				if m.Name() == methodName {
+					if !satisfied {
+						missing++
+					}
+				} else if !satisfied {
+					hasRest = false
+				}
+			}
+			if hasRest && missing > 0 {
+				pass.Reportf(tn.Pos(), "type %s implements %s's iteration surface but lacks %s() error — errors deferred by the pipeline would be dropped", tn.Name(), in.Obj().Name(), methodName)
+			}
+		}
+	}
+}
+
+// checkPropagation enforces rule 2: wrapper iterators call their
+// convention-typed fields' deferredErr inside their own.
+func checkPropagation(pass *lintkit.Pass, ifaces map[*types.Named]*types.Interface) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || fd.Name.Name != methodName {
+				continue
+			}
+			if pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			recvT := receiverStruct(pass, fd)
+			if recvT == nil {
+				continue
+			}
+			for i := 0; i < recvT.NumFields(); i++ {
+				field := recvT.Field(i)
+				if !isConventionType(field.Type(), ifaces) {
+					continue
+				}
+				if !callsFieldDeferredErr(pass, fd.Body, field) {
+					pass.Reportf(fd.Pos(), "%s does not propagate %s.%s() from its child iterator field %q", fd.Name.Name, field.Name(), methodName, field.Name())
+				}
+			}
+		}
+	}
+}
+
+// receiverStruct resolves a method's receiver to its struct type, through
+// one pointer level.
+func receiverStruct(pass *lintkit.Pass, fd *ast.FuncDecl) *types.Struct {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// isConventionType reports whether t is one of the convention interfaces.
+func isConventionType(t types.Type, ifaces map[*types.Named]*types.Interface) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	_, ok = ifaces[named]
+	return ok
+}
+
+// callsFieldDeferredErr reports whether body contains <recv>.<field>.deferredErr().
+func callsFieldDeferredErr(pass *lintkit.Pass, body *ast.BlockStmt, field *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := lintkit.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != methodName {
+			return true
+		}
+		inner, ok := lintkit.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pass.TypesInfo.Selections[inner]; ok && s.Obj() == field {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkDrivers enforces rule 3: run* functions taking a convention-interface
+// parameter check deferredErr after the drain.
+func checkDrivers(pass *lintkit.Pass, ifaces map[*types.Named]*types.Interface) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "run") {
+				continue
+			}
+			if pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			takesConvention := false
+			for _, p := range fd.Type.Params.List {
+				if isConventionType(pass.TypesInfo.TypeOf(p.Type), ifaces) {
+					takesConvention = true
+					break
+				}
+			}
+			if !takesConvention {
+				continue
+			}
+			if !callsDeferredErr(fd.Body) {
+				pass.Reportf(fd.Pos(), "driver %s drains an iterator but never checks %s() — deferred failures are lost", fd.Name.Name, methodName)
+			}
+		}
+	}
+}
+
+// callsDeferredErr reports whether body contains any .deferredErr() call.
+func callsDeferredErr(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := lintkit.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == methodName {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

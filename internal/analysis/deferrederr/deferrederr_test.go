@@ -1,0 +1,12 @@
+package deferrederr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/deferrederr"
+	"repro/internal/analysis/linttest"
+)
+
+func TestDeferredErr(t *testing.T) {
+	linttest.Run(t, deferrederr.Analyzer, "a")
+}

@@ -1,0 +1,78 @@
+// Package a exercises the deferrederr analyzer: colIterator is the
+// convention interface; scanIter and filterIter are compliant, leakyIter
+// is the near-miss (iteration surface without deferredErr), limitIter
+// swallows its child's deferred error, and runLossy drains without checking.
+package a
+
+import "errors"
+
+type batch struct {
+	vals []int64
+}
+
+type colIterator interface {
+	next(b *batch) bool
+	rewind() error
+	deferredErr() error
+}
+
+// scanIter is a compliant leaf iterator.
+type scanIter struct {
+	err error
+}
+
+func (s *scanIter) next(b *batch) bool { return false }
+func (s *scanIter) rewind() error      { return nil }
+func (s *scanIter) deferredErr() error { return s.err }
+
+// leakyIter implements next and rewind but not deferredErr: it would pass a
+// compile check against a trimmed interface while dropping pipeline errors.
+type leakyIter struct{} // want `type leakyIter implements colIterator's iteration surface but lacks deferredErr`
+
+func (l *leakyIter) next(b *batch) bool { return false }
+func (l *leakyIter) rewind() error      { return nil }
+
+// filterIter is a compliant wrapper: its deferredErr folds in the child's.
+type filterIter struct {
+	src colIterator
+	err error
+}
+
+func (f *filterIter) next(b *batch) bool { return f.src.next(b) }
+func (f *filterIter) rewind() error      { return f.src.rewind() }
+func (f *filterIter) deferredErr() error {
+	if f.err != nil {
+		return f.err
+	}
+	return f.src.deferredErr()
+}
+
+// limitIter wraps a child but returns only its own error.
+type limitIter struct {
+	src colIterator
+	err error
+}
+
+func (l *limitIter) next(b *batch) bool { return l.src.next(b) }
+func (l *limitIter) rewind() error      { return nil }
+func (l *limitIter) deferredErr() error { return l.err } // want `deferredErr does not propagate src\.deferredErr\(\)`
+
+// runDrain is a compliant driver: it checks the deferred error after the loop.
+func runDrain(it colIterator, b *batch) error {
+	for it.next(b) {
+	}
+	return it.deferredErr()
+}
+
+// runLossy drains the iterator and returns a count, losing any failure.
+func runLossy(it colIterator, b *batch) int { // want `driver runLossy drains an iterator but never checks deferredErr`
+	n := 0
+	for it.next(b) {
+		n++
+	}
+	return n
+}
+
+var errSmall = errors.New("small")
+
+func newScan() colIterator { return &scanIter{err: errSmall} }

@@ -1,0 +1,395 @@
+// Package hotpath checks the engine's steady-state allocation discipline:
+// functions on the per-batch execution path (PRs 3, 6, 7 hand-audited these
+// to 0 allocs/op) must not reintroduce the defect classes those audits
+// removed.
+//
+// A function is hot if its declaration doc carries the //hydra:hotpath
+// marker, or if it is reachable from a hot function through the package's
+// call graph — including interface-method dispatch: a hot call to an
+// interface method marks the corresponding method on every package-local
+// type implementing that interface. //hydra:coldpath opts a reachable
+// function back out (error construction, open-time setup).
+//
+// Inside a hot function the analyzer flags:
+//
+//   - function literals (closure captures allocate and defeat inlining);
+//   - calls to time.Now / time.Since (vDSO cost per batch; hot code takes
+//     timings from the recorder, PR 8);
+//   - any call into package fmt (allocates, boxes);
+//   - map and slice composite literals (per-call allocations);
+//   - append to a slice variable declared in the function without a
+//     capacity (no initializer, a literal, or make with fewer than 3
+//     arguments) — growth in steady state; appends to parameters, struct
+//     fields, package variables, and slices obtained from calls are
+//     exempt, as the capacity is managed elsewhere;
+//   - boxing a concrete non-pointer value into interface{}/any (argument
+//     or conversion) — pointers fit the interface word and do not
+//     allocate, so they pass.
+//
+// Test files are skipped.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocation and timing defects in //hydra:hotpath-reachable functions",
+	Run:  run,
+}
+
+const (
+	hotMarker  = "hydra:hotpath"
+	coldMarker = "hydra:coldpath"
+)
+
+func run(pass *lintkit.Pass) error {
+	// Index every package-local function declaration by its types.Func.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	cold := make(map[*types.Func]bool)
+	var seeds []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if lintkit.HasMarker(fd.Doc, coldMarker) {
+				cold[fn] = true
+			}
+			if lintkit.HasMarker(fd.Doc, hotMarker) {
+				seeds = append(seeds, fn)
+			}
+		}
+	}
+
+	hot := propagate(pass, decls, cold, seeds)
+
+	// Deterministic order: walk declarations file by file.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil || !hot[fn] || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// propagate closes the seed set over the package call graph. Interface
+// dispatch is resolved pessimistically within the package: a hot call to an
+// interface method marks that method on every package-local implementation,
+// so annotating a driver (runColumnar) covers each iterator it drains.
+func propagate(pass *lintkit.Pass, decls map[*types.Func]*ast.FuncDecl, cold map[*types.Func]bool, seeds []*types.Func) map[*types.Func]bool {
+	hot := make(map[*types.Func]bool)
+	var work []*types.Func
+	mark := func(fn *types.Func) {
+		if fn == nil || hot[fn] || cold[fn] {
+			return
+		}
+		if _, local := decls[fn]; !local {
+			return
+		}
+		hot[fn] = true
+		work = append(work, fn)
+	}
+	for _, fn := range seeds {
+		mark(fn)
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := lintkit.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+					for _, impl := range implementations(pass.Pkg, iface) {
+						obj, _, _ := types.LookupFieldOrMethod(impl, true, callee.Pkg(), callee.Name())
+						if m, ok := obj.(*types.Func); ok {
+							mark(m)
+						}
+					}
+					return true
+				}
+			}
+			mark(callee)
+			return true
+		})
+	}
+	return hot
+}
+
+// implementations returns the package-local named types satisfying iface
+// (directly or through a pointer receiver).
+func implementations(pkg *types.Package, iface *types.Interface) []types.Type {
+	var impls []types.Type
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		if types.Implements(t, iface) {
+			impls = append(impls, t)
+		} else if p := types.NewPointer(t); types.Implements(p, iface) {
+			impls = append(impls, p)
+		}
+	}
+	return impls
+}
+
+// checkBody flags the forbidden constructs inside one hot function.
+func checkBody(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	prealloc := preallocated(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot-path function %s (allocates; hoist to a method or package function)", name)
+			return false // the literal's body is reported once, not re-scanned
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in hot-path function %s (allocates per call; hoist to state set up at open time)", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in hot-path function %s (allocates per call; reuse a preallocated buffer)", name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, name, n, prealloc)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *lintkit.Pass, name string, call *ast.CallExpr, prealloc map[*types.Var]bool) {
+	// Conversions: flag boxing into interface{}/any.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if lintkit.IsEmptyInterface(tv.Type) && len(call.Args) == 1 && boxes(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface{} boxes a value in hot-path function %s", name)
+		}
+		return
+	}
+
+	if id, ok := lintkit.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+			checkAppend(pass, name, call, prealloc)
+			return
+		}
+	}
+
+	callee := lintkit.CalleeFunc(pass.TypesInfo, call)
+	if callee != nil && callee.Pkg() != nil {
+		switch callee.Pkg().Path() {
+		case "time":
+			if callee.Name() == "Now" || callee.Name() == "Since" {
+				pass.Reportf(call.Pos(), "time.%s in hot-path function %s (per-batch timing belongs to the trace recorder)", callee.Name(), name)
+			}
+		case "fmt":
+			pass.Reportf(call.Pos(), "fmt.%s call in hot-path function %s (allocates; build errors in a //hydra:coldpath helper)", callee.Name(), name)
+			return // the call diagnostic subsumes per-argument boxing
+		}
+	}
+
+	// Boxing through a call: a concrete non-pointer argument landing in an
+	// interface{} parameter allocates. Variadic spreads pass a slice through.
+	if callee != nil && !call.Ellipsis.IsValid() {
+		sig, _ := callee.Type().(*types.Signature)
+		if sig != nil {
+			for i, arg := range call.Args {
+				var pt types.Type
+				if sig.Variadic() && i >= sig.Params().Len()-1 {
+					pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+				} else if i < sig.Params().Len() {
+					pt = sig.Params().At(i).Type()
+				}
+				if pt != nil && lintkit.IsEmptyInterface(pt) && boxes(pass, arg) {
+					pass.Reportf(arg.Pos(), "argument boxes a value into interface{} in hot-path function %s", name)
+				}
+			}
+		}
+	}
+}
+
+// boxes reports whether passing e to an interface{} slot allocates: true for
+// concrete non-pointer values, false for pointers, interfaces, and nil.
+func boxes(pass *lintkit.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[lintkit.Unparen(e)]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Chan, *types.Map:
+		return false
+	}
+	return true
+}
+
+// preallocated collects the function's local slice variables declared with a
+// 3-argument make — the only declaration form whose appends are trusted not
+// to grow in steady state.
+func preallocated(pass *lintkit.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if call, ok := lintkit.Unparen(rhs).(*ast.CallExpr); ok {
+			if fun, ok := lintkit.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "make" && len(call.Args) == 3 {
+					out[v] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAppend flags appends that grow an un-preallocated local slice.
+// Parameters, struct fields, package variables, and locals initialized from
+// calls or slicing are exempt — their capacity is managed by the caller or
+// at open time.
+func checkAppend(pass *lintkit.Pass, name string, call *ast.CallExpr, prealloc map[*types.Var]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := lintkit.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return // fields, indexed slots: managed elsewhere
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Parent() == pass.Pkg.Scope() || prealloc[v] {
+		return
+	}
+	if bare, grows := localSliceDecl(pass, v); grows {
+		if bare {
+			pass.Reportf(call.Pos(), "append to %s grows a slice declared without capacity in hot-path function %s (use make(T, 0, n))", id.Name, name)
+		} else {
+			pass.Reportf(call.Pos(), "append to %s grows an un-preallocated slice in hot-path function %s (use make(T, 0, n))", id.Name, name)
+		}
+	}
+}
+
+// localSliceDecl classifies v's declaration. grows is true when the
+// declaration visibly lacks capacity: a `var s []T` with no initializer, a
+// composite literal, or make with fewer than 3 arguments. bare
+// distinguishes the no-initializer form for the diagnostic text. Variables
+// whose defining ident is not an assignment or value spec (parameters,
+// range variables) are exempt — their backing storage is the caller's.
+func localSliceDecl(pass *lintkit.Pass, v *types.Var) (bare, grows bool) {
+	// Find the defining Ident to recover the declaration's RHS.
+	for id, obj := range pass.TypesInfo.Defs {
+		if obj != v {
+			continue
+		}
+		rhs, isDecl := declRHS(pass, id)
+		if !isDecl {
+			return false, false
+		}
+		if rhs == nil {
+			return true, true
+		}
+		switch r := lintkit.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			return false, true
+		case *ast.CallExpr:
+			if fun, ok := lintkit.Unparen(r.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "make" {
+					return false, len(r.Args) < 3
+				}
+			}
+			return false, false // result of a call: capacity managed by the callee
+		default:
+			return false, false // slicing, parameters-by-copy, etc.
+		}
+	}
+	return false, false
+}
+
+// declRHS returns the initializer expression paired with the defining ident
+// id. isDecl is false when id is not defined by an AssignStmt (:=) or a
+// ValueSpec — i.e. it is a parameter or range variable.
+func declRHS(pass *lintkit.Pass, id *ast.Ident) (rhs ast.Expr, isDecl bool) {
+	for _, f := range pass.Files {
+		if f.Pos() <= id.Pos() && id.Pos() <= f.End() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+						for i, l := range n.Lhs {
+							if l == id {
+								rhs, isDecl = n.Rhs[i], true
+								return false
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for i, nm := range n.Names {
+						if nm == id {
+							if len(n.Values) == len(n.Names) {
+								rhs = n.Values[i]
+							}
+							isDecl = true
+							return false
+						}
+					}
+				}
+				return true
+			})
+			break
+		}
+	}
+	return rhs, isDecl
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, hotpath.Analyzer, "a")
+}

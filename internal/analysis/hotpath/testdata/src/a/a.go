@@ -1,0 +1,86 @@
+// Package a seeds the hotpath analyzer's testdata: runDrain is the marked
+// driver, scanIter.next becomes hot through interface dispatch, and each
+// forbidden construct appears once with a want expectation. The compliant
+// forms (preallocated append, field append, //hydra:coldpath helper) appear
+// alongside to prove the analyzer stays quiet on them.
+package a
+
+import (
+	"fmt"
+	"time"
+)
+
+type batch struct {
+	vals []int64
+}
+
+type iter interface {
+	next(b *batch) bool
+}
+
+//hydra:hotpath
+func runDrain(it iter, b *batch) int {
+	n := 0
+	for it.next(b) {
+		n += len(b.vals)
+	}
+	return n
+}
+
+type scanIter struct {
+	src []int64
+	off int
+}
+
+// next is hot via interface dispatch from runDrain.
+func (s *scanIter) next(b *batch) bool {
+	if s.off >= len(s.src) {
+		return false
+	}
+	f := func() int { return s.off } // want `closure literal in hot-path function next`
+	_ = f
+	now := time.Now() // want `time\.Now in hot-path function next`
+	_ = now
+	fmt.Println("tick")         // want `fmt\.Println call in hot-path function next`
+	m := map[string]int{"a": 1} // want `map literal in hot-path function next`
+	_ = m
+	tmp := []int64{1, 2} // want `slice literal in hot-path function next`
+	_ = tmp
+	var acc []int64
+	acc = append(acc, s.src[s.off]) // want `append to acc grows a slice declared without capacity`
+	_ = acc
+	grown := make([]int64, 0)
+	grown = append(grown, 1) // want `append to grown grows an un-preallocated slice`
+	_ = grown
+	box := any(s.off) // want `conversion to interface\{\} boxes a value`
+	_ = box
+	sink(s.off) // want `argument boxes a value into interface\{\}`
+	sink(&b.vals)
+	s.fill(b)
+	if s.off < 0 {
+		panic(s.fail())
+	}
+	s.off++
+	return true
+}
+
+// fill is hot via the static call from next; everything in it is compliant.
+func (s *scanIter) fill(b *batch) {
+	out := make([]int64, 0, 8)
+	out = append(out, 1)
+	b.vals = append(b.vals, out...)
+}
+
+// fail is reachable from next but opted out: error construction is cold.
+//
+//hydra:coldpath
+func (s *scanIter) fail() error {
+	return fmt.Errorf("scan failed at offset %d", s.off)
+}
+
+// report is not reachable from any hot function, so fmt here is fine.
+func report() {
+	fmt.Println(time.Now())
+}
+
+func sink(v any) { _ = v }

@@ -1,0 +1,130 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSource type-checks one in-memory file (no imports) and runs the
+// given analyzers over it through RunPackage.
+func checkSource(t *testing.T, src string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	tpkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{PkgPath: "p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// always reports one diagnostic on every function declaration.
+var always = &Analyzer{
+	Name: "always",
+	Doc:  "test analyzer: flags every function",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					p.Reportf(fd.Pos(), "function %s flagged", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestIgnoreSuppressesSameAndNextLine(t *testing.T) {
+	src := `package p
+
+//hydralint:ignore always deliberate for the test
+func a() {}
+
+func b() {} //hydralint:ignore always trailing form
+
+func c() {}
+`
+	diags := checkSource(t, src, []*Analyzer{always})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "function c") {
+		t.Fatalf("want only c flagged, got %v", diags)
+	}
+}
+
+func TestIgnoreWithoutReasonIsReported(t *testing.T) {
+	src := `package p
+
+//hydralint:ignore always
+func a() {}
+`
+	diags := checkSource(t, src, []*Analyzer{always})
+	var malformed, original bool
+	for _, d := range diags {
+		if d.Analyzer == "hydralint" && strings.Contains(d.Message, "needs an analyzer name and a reason") {
+			malformed = true
+		}
+		if strings.Contains(d.Message, "function a") {
+			original = true // a bare directive suppresses nothing
+		}
+	}
+	if !malformed {
+		t.Fatalf("malformed directive not reported: %v", diags)
+	}
+	if !original {
+		t.Fatalf("bare directive must not suppress: %v", diags)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want malformed + original diagnostics, got %v", diags)
+	}
+}
+
+func TestIgnoreUnknownAnalyzerIsReported(t *testing.T) {
+	src := `package p
+
+//hydralint:ignore nosuch not a real analyzer
+func a() {}
+`
+	diags := checkSource(t, src, []*Analyzer{always})
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "hydralint" && strings.Contains(d.Message, `unknown analyzer "nosuch"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unknown analyzer name not reported: %v", diags)
+	}
+}
+
+func TestIgnoreIsPerAnalyzer(t *testing.T) {
+	other := &Analyzer{
+		Name: "other",
+		Doc:  "test analyzer: flags every function",
+		Run:  always.Run,
+	}
+	src := `package p
+
+//hydralint:ignore always only the always analyzer is expected here
+func a() {}
+`
+	diags := checkSource(t, src, []*Analyzer{always, other})
+	if len(diags) != 1 || diags[0].Analyzer != "other" {
+		t.Fatalf("want only the other analyzer's diagnostic to survive, got %v", diags)
+	}
+}

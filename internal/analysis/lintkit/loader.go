@@ -1,0 +1,171 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// The standalone loader: `go list -export -deps -json` enumerates the
+// pattern's packages and their dependency closure, with each dependency's
+// compiler export data already built into the go build cache; targets are
+// then parsed from source and type-checked against that export data. This
+// is the same shape as the go vet protocol (unit.go) with the go command's
+// per-unit .cfg files replaced by one process-wide `go list` call — and it
+// works fully offline, since export data for the standard library and the
+// module's own packages is produced locally.
+//
+// The standalone path analyzes non-test compilation units only; `go vet
+// -vettool` (the CI entry point) additionally covers the test variants.
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns from dir and returns the type-checked target
+// packages (the ones the patterns name, not their dependencies) in
+// import-path order.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	gc := gcImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, t.ImportPath, sourcePaths(t.Dir, t.GoFiles), mapImports(gc, t.ImportMap), "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// sourcePaths joins a package's file names onto its directory.
+func sourcePaths(dir string, names []string) []string {
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = filepath.Join(dir, n)
+	}
+	return paths
+}
+
+// gcImporter resolves import paths through compiler export data files. The
+// returned importer caches packages across calls, so one importer must be
+// shared by every package type-checked against the same FileSet.
+func gcImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// importerFunc adapts a function to types.Importer (mirroring the adapter
+// x/tools' unitchecker uses).
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// mapImports applies a package's ImportMap (vendoring, test-variant
+// rewrites) before delegating to the shared gc importer.
+func mapImports(imp types.Importer, importMap map[string]string) types.Importer {
+	if len(importMap) == 0 {
+		return imp
+	}
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		return imp.Import(path)
+	})
+}
+
+// checkPackage parses files and type-checks them as one package, recording
+// the full types.Info the analyzers need. goVersion, when non-empty, pins
+// the language version (the vet protocol supplies it per unit).
+func checkPackage(fset *token.FileSet, pkgPath string, files []string, imp types.Importer, goVersion string) (*Package, error) {
+	var astFiles []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		astFiles = append(astFiles, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion,
+	}
+	tpkg, err := conf.Check(pkgPath, fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: astFiles, Types: tpkg, Info: info}, nil
+}

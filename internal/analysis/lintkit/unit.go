@@ -1,0 +1,309 @@
+package lintkit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"strings"
+)
+
+// The `go vet -vettool=` protocol, reimplemented from the contract x/tools'
+// unitchecker documents (and the go command relies on):
+//
+//	hydralint -V=full        print an executable fingerprint (build cache key)
+//	hydralint -flags         print supported flags as JSON
+//	hydralint [flags] x.cfg  analyze one compilation unit described by a
+//	                         JSON config file written by the go command
+//
+// Each .cfg names the unit's Go files and maps every dependency's package
+// path to its compiler export data, so the unit is re-type-checked exactly
+// as the compiler saw it — including test variants, which the standalone
+// loader does not cover. hydralint carries no cross-package facts, so
+// VetxOnly dependency visits write an empty facts file and exit; the
+// analyzers are designed around per-package invariants (markers propagate
+// through a package's call graph, conventions bind package-local types)
+// precisely so that modular analysis needs no fact flow.
+
+// unitConfig mirrors the fields of the go command's vet .cfg files that
+// hydralint consumes.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point shared by cmd/hydralint's two modes: the
+// unitchecker protocol when invoked by go vet (a single *.cfg argument),
+// and the standalone loader otherwise (package patterns, "./..." default).
+// It does not return.
+func Main(progname string, analyzers []*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Var(versionFlag{}, "V", "print version fingerprint and exit (go vet protocol)")
+	_ = flag.Int("c", -1, "display offending line with this many lines of context (accepted for vet compatibility)")
+	enabled := make(map[string]*string, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.String(a.Name, "", "enable "+a.Name+" analysis (true/false; default: all enabled)")
+	}
+	flag.Parse()
+
+	if *printFlags {
+		printFlagsJSON()
+		os.Exit(0)
+	}
+
+	analyzers = selectAnalyzers(analyzers, enabled)
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], analyzers, *jsonOut)
+		panic("unreachable")
+	}
+	runStandalone(args, analyzers, *jsonOut)
+	panic("unreachable")
+}
+
+// selectAnalyzers applies go vet's enable-flag convention: if any -NAME
+// flag is true, run only those; else if any is false, run all but those.
+func selectAnalyzers(analyzers []*Analyzer, enabled map[string]*string) []*Analyzer {
+	hasTrue := false
+	hasFalse := false
+	for _, v := range enabled {
+		switch *v {
+		case "true", "1":
+			hasTrue = true
+		case "false", "0":
+			hasFalse = true
+		}
+	}
+	if !hasTrue && !hasFalse {
+		return analyzers
+	}
+	var keep []*Analyzer
+	for _, a := range analyzers {
+		v := *enabled[a.Name]
+		on := v == "true" || v == "1"
+		off := v == "false" || v == "0"
+		if (hasTrue && on) || (!hasTrue && !off) {
+			keep = append(keep, a)
+		}
+	}
+	return keep
+}
+
+// runStandalone loads the patterns with the go-list loader and prints
+// diagnostics to stdout. Exit status: 0 clean, 1 diagnostics, 2 failure.
+func runStandalone(patterns []string, analyzers []*Analyzer, jsonOut bool) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(".", patterns)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	found := false
+	jsonTree := make(map[string]map[string][]jsonDiagnostic)
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		if jsonOut {
+			addJSONDiags(jsonTree, pkg.PkgPath, pkg, diags)
+		} else {
+			for _, d := range diags {
+				fmt.Printf("%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			}
+		}
+		found = found || len(diags) > 0
+	}
+	if jsonOut {
+		printJSONTree(jsonTree)
+		os.Exit(0)
+	}
+	if found {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile, per
+// the go vet protocol: diagnostics to stderr (or a JSON tree to stdout
+// under -json), an (empty) facts file to cfg.VetxOutput, exit 1 when
+// diagnostics were found so the go command reports them.
+func runUnit(cfgFile string, analyzers []*Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOnly {
+		// A dependency visited only for facts: hydralint has none to export.
+		writeVetx(cfg)
+		os.Exit(0)
+	}
+	if len(cfg.GoFiles) == 0 {
+		log.Fatalf("package has no files: %s", cfg.ImportPath)
+	}
+
+	fset, gc := unitImporter(cfg)
+	pkg, err := checkPackage(fset, cfg.ImportPath, cfg.GoFiles, mapImports(gc, cfg.ImportMap), cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the same failure with a better message.
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx(cfg)
+	if jsonOut {
+		tree := make(map[string]map[string][]jsonDiagnostic)
+		addJSONDiags(tree, cfg.ID, pkg, diags)
+		printJSONTree(tree)
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// unitImporter builds the export-data importer for one vet compilation
+// unit: package paths resolve through cfg.PackageFile, exactly as the
+// compiler resolved them.
+func unitImporter(cfg *unitConfig) (*token.FileSet, types.Importer) {
+	fset := token.NewFileSet()
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	return fset, imp
+}
+
+// writeVetx satisfies the protocol's facts contract: the go command expects
+// the output file to exist even when the tool exports no facts.
+func writeVetx(cfg *unitConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		log.Fatalf("failed to write facts file: %v", err)
+	}
+}
+
+// jsonDiagnostic matches the x/tools JSON tree leaf shape so downstream
+// tooling that parses `go vet -json` output keeps working.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+func addJSONDiags(tree map[string]map[string][]jsonDiagnostic, id string, pkg *Package, diags []Diagnostic) {
+	for _, d := range diags {
+		byAnalyzer := tree[id]
+		if byAnalyzer == nil {
+			byAnalyzer = make(map[string][]jsonDiagnostic)
+			tree[id] = byAnalyzer
+		}
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+			Posn:    pkg.Fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+}
+
+func printJSONTree(tree map[string]map[string][]jsonDiagnostic) {
+	data, err := json.MarshalIndent(tree, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// printFlagsJSON describes the registered flags in the JSON shape the go
+// command reads to learn which vet flags the tool supports.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full protocol: print a line that changes
+// whenever the executable changes, so the go command can cache vet results
+// keyed on the tool build. The format mirrors the one the go toolchain's
+// own vet emits.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

@@ -1,0 +1,277 @@
+// Package linttest is the analysistest-style harness for hydralint
+// analyzers: it loads a package from the analyzer's testdata/src/<name>
+// directory, runs one analyzer over it (through the same RunPackage
+// driver CI uses, so //hydralint:ignore directives behave identically),
+// and matches the diagnostics against `// want "regexp"` comments.
+//
+// Layout mirrors x/tools' analysistest GOPATH convention:
+//
+//	<analyzer>/testdata/src/<pkg>/*.go
+//
+// A want comment asserts that a diagnostic whose message matches the
+// quoted regular expression is reported on the comment's line:
+//
+//	res := []int{1} // want `slice literal`
+//
+// Several expectations may follow one want. Every expectation must be
+// matched by a diagnostic and every diagnostic by an expectation; either
+// kind of leftover fails the test. Standard-library imports resolve
+// through compiler export data (`go list -export`), so testdata may use
+// context, sync, fmt, time, and errors freely; testdata packages may also
+// import sibling packages under the same src root by bare name.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Run loads each named package from testdata/src (relative to the calling
+// test's working directory), applies the analyzer, and checks want
+// comments.
+func Run(t *testing.T, a *lintkit.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &loader{
+		root:   root,
+		fset:   token.NewFileSet(),
+		loaded: make(map[string]*lintkit.Package),
+	}
+	for _, pkg := range pkgs {
+		p, err := l.load(pkg)
+		if err != nil {
+			t.Fatalf("loading testdata package %s: %v", pkg, err)
+		}
+		diags, err := lintkit.RunPackage(p, []*lintkit.Analyzer{a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, p, diags)
+	}
+}
+
+// loader type-checks testdata packages: bare-name imports that exist under
+// the src root load recursively; everything else resolves through the
+// standard library's compiler export data.
+type loader struct {
+	root   string
+	fset   *token.FileSet
+	loaded map[string]*lintkit.Package
+	std    types.Importer
+}
+
+func (l *loader) load(name string) (*lintkit.Package, error) {
+	if p, ok := l.loaded[name]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var imports []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			imports = append(imports, path)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	if err := l.ensureStd(imports); err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: importerFunc(l.importPkg), Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(name, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &lintkit.Package{PkgPath: name, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.loaded[name] = p
+	return p, nil
+}
+
+// importPkg resolves one import from a testdata package.
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.root, path)); err == nil {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if l.std == nil {
+		return nil, fmt.Errorf("no importer for %q", path)
+	}
+	return l.std.Import(path)
+}
+
+// ensureStd builds the export-data importer for the given (standard
+// library) import paths, tolerating testdata-local names in the list.
+func (l *loader) ensureStd(imports []string) error {
+	var std []string
+	for _, p := range imports {
+		if _, err := os.Stat(filepath.Join(l.root, p)); err != nil {
+			std = append(std, p)
+		}
+	}
+	if len(std) == 0 {
+		return nil
+	}
+	sort.Strings(std)
+	std = uniq(std)
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, std...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list %v: %v\n%s", std, err, stderr.Bytes())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return nil
+}
+
+func uniq(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one parsed want clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+var wantRE = regexp.MustCompile("(?:\"((?:[^\"\\\\]|\\\\.)*)\")|(?:`([^`]*)`)")
+
+// check matches diagnostics against want comments, failing the test on any
+// unmatched expectation or unexpected diagnostic.
+func check(t *testing.T, pkg *lintkit.Package, diags []lintkit.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		fname := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				clause := text[idx+len("want "):]
+				for _, m := range wantRE.FindAllStringSubmatch(clause, -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					} else if unq, err := strconv.Unquote("\"" + raw + "\""); err == nil {
+						raw = unq
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: fname,
+						line: pkg.Fset.Position(c.Pos()).Line,
+						re:   re,
+						raw:  raw,
+					})
+				}
+			}
+		}
+	}
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			posn := pkg.Fset.Position(d.Pos)
+			if posn.Filename == w.file && posn.Line == w.line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package lockscope checks critical-section hygiene (the PR 4 race class).
+// Within any function, between a sync.Mutex/RWMutex Lock/RLock and the
+// matching Unlock (or to the end of the function when the unlock is
+// deferred), the analyzer flags:
+//
+//   - channel operations: send, receive, select — blocking on a channel
+//     while holding a lock invites lock-ordering deadlocks;
+//   - calls into net or net/http — network latency inside a critical
+//     section serializes the server;
+//   - time.Sleep — same, deliberately;
+//   - calls through function-typed values (callbacks, handler fields) —
+//     arbitrary user code must not run under an internal lock;
+//   - calls to build* functions — summary/plan construction is the
+//     expensive work the lock exists to exclude, not to cover.
+//
+// It also encodes the generation rule from the PR 4 plan-cache race: if a
+// critical section reads a generation field into a local (gen := c.gen) and
+// a LATER critical section of the same function inserts into a map or calls
+// a put*/insert*/add*/store* helper, that later section must re-compare the
+// local against the field (c.gen == gen) before the insert. Publishing under
+// a stale generation is exactly how the original race lost invalidations.
+//
+// The statement walk is conservative: state changes inside branch bodies do
+// not leak to the fall-through path (the unlock-then-return-inside-if idiom
+// stays correctly held after the branch), and goroutine and closure bodies
+// are not treated as running under the lock. Test files are skipped.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "lockscope",
+	Doc:  "no blocking, callbacks, or builds under a mutex; generation re-check before insert",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			w := &walker{pass: pass, fn: fd.Name.Name}
+			w.block(fd.Body.List, state{})
+			w.checkGenerations()
+		}
+	}
+	return nil
+}
+
+// state is the walk's per-path view: whether a lock is held, and which
+// critical section (by sequence number) the path is in.
+type state struct {
+	held    bool
+	section int
+}
+
+type genRead struct {
+	section int
+	local   *types.Var
+	field   types.Object
+}
+
+type insert struct {
+	section int
+	pos     token.Pos
+}
+
+type compare struct {
+	section int
+	local   *types.Var
+}
+
+// walker accumulates generation-rule facts across one function while
+// flagging held-region violations in place.
+type walker struct {
+	pass     *lintkit.Pass
+	fn       string
+	sections int
+	reads    []genRead
+	inserts  []insert
+	compares []compare
+}
+
+// block walks a statement list, threading lock state through it. Branch
+// bodies run on a copy: their lock transitions are path-local.
+func (w *walker) block(stmts []ast.Stmt, st state) state {
+	for _, s := range stmts {
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *walker) stmt(s ast.Stmt, st state) state {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := lintkit.Unparen(s.X).(*ast.CallExpr); ok {
+			switch lockOp(w.pass, call) {
+			case opLock:
+				if !st.held {
+					w.sections++
+					st = state{held: true, section: w.sections}
+				}
+				return st
+			case opUnlock:
+				st.held = false
+				return st
+			}
+		}
+		w.expr(s.X, st)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the section open to the function's end;
+		// the statements that follow are still checked as held. Other
+		// deferred work runs after the region, so its body is not checked.
+		if lockOp(w.pass, s.Call) == opUnlock {
+			return st
+		}
+	case *ast.GoStmt:
+		// The goroutine body does not run under the caller's lock.
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs, st)
+		}
+		if st.held {
+			w.recordGenRead(s, st)
+			w.recordMapInsert(s, st)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, st)
+		}
+	case *ast.SendStmt:
+		if st.held {
+			w.pass.Reportf(s.Pos(), "channel send while holding a mutex in %s", w.fn)
+		}
+		w.expr(s.Value, st)
+	case *ast.SelectStmt:
+		if st.held {
+			w.pass.Reportf(s.Pos(), "select while holding a mutex in %s", w.fn)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.block(cc.Body, st)
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		w.block(s.Body.List, st)
+		if s.Else != nil {
+			w.stmt(s.Else, st)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		w.block(s.Body.List, st)
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		w.block(s.Body.List, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, st)
+			}
+		}
+	case *ast.BlockStmt:
+		// A plain block shares the enclosing path; its transitions persist.
+		st = w.block(s.List, st)
+	case *ast.LabeledStmt:
+		st = w.stmt(s.Stmt, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st)
+					}
+				}
+			}
+		}
+	}
+	return st
+}
+
+// expr checks one expression tree for held-region violations and records
+// generation comparisons and insert-shaped calls. Function literal bodies
+// are skipped: they run outside the region.
+func (w *walker) expr(e ast.Expr, st state) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && st.held {
+				w.pass.Reportf(n.Pos(), "channel receive while holding a mutex in %s", w.fn)
+			}
+		case *ast.BinaryExpr:
+			if st.held && (n.Op == token.EQL || n.Op == token.NEQ) {
+				w.recordCompare(n, st)
+			}
+		case *ast.CallExpr:
+			if st.held {
+				w.checkHeldCall(n)
+				w.recordInsertCall(n, st)
+			}
+		}
+		return true
+	})
+}
+
+// checkHeldCall flags the call categories forbidden under a lock.
+func (w *walker) checkHeldCall(call *ast.CallExpr) {
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	if ok && (tv.IsType() || tv.IsBuiltin()) {
+		return
+	}
+	callee := lintkit.CalleeFunc(w.pass.TypesInfo, call)
+	if callee == nil {
+		if !ok || tv.Type == nil {
+			return
+		}
+		if _, ok := tv.Type.Underlying().(*types.Signature); ok {
+			w.pass.Reportf(call.Pos(), "call through a function value while holding a mutex in %s (callbacks must not run under internal locks)", w.fn)
+		}
+		return
+	}
+	if strings.HasPrefix(callee.Name(), "build") || strings.HasPrefix(callee.Name(), "Build") {
+		w.pass.Reportf(call.Pos(), "%s called while holding a mutex in %s (build work belongs outside the critical section)", callee.Name(), w.fn)
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return
+	}
+	switch {
+	case pkg.Path() == "net" || strings.HasPrefix(pkg.Path(), "net/"):
+		w.pass.Reportf(call.Pos(), "network call %s.%s while holding a mutex in %s", pkg.Name(), callee.Name(), w.fn)
+	case pkg.Path() == "time" && callee.Name() == "Sleep":
+		w.pass.Reportf(call.Pos(), "time.Sleep while holding a mutex in %s", w.fn)
+	}
+}
+
+// lockOp classifies a call as a mutex acquire, release, or neither.
+type op int
+
+const (
+	opNone op = iota
+	opLock
+	opUnlock
+)
+
+func lockOp(pass *lintkit.Pass, call *ast.CallExpr) op {
+	callee := lintkit.CalleeFunc(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return opNone
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return opNone
+	}
+	switch callee.Name() {
+	case "Lock", "RLock":
+		return opLock
+	case "Unlock", "RUnlock":
+		return opUnlock
+	}
+	return opNone
+}
+
+// generationField reports whether a field object looks like a generation
+// counter: named gen, generation, or *Gen.
+func generationField(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	name := obj.Name()
+	return name == "gen" || name == "generation" || strings.HasSuffix(name, "Gen")
+}
+
+// recordGenRead notes `local := x.gen` executed under the lock.
+func (w *walker) recordGenRead(s *ast.AssignStmt, st state) {
+	if s.Tok != token.DEFINE || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	sel, ok := lintkit.Unparen(s.Rhs[0]).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field := w.pass.TypesInfo.Uses[sel.Sel]
+	if !generationField(field) {
+		return
+	}
+	local, ok := w.pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok {
+		return
+	}
+	w.reads = append(w.reads, genRead{section: st.section, local: local, field: field})
+}
+
+// recordCompare notes `local == x.gen` (or !=) inside a critical section.
+func (w *walker) recordCompare(b *ast.BinaryExpr, st state) {
+	for _, pair := range [2][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		id, ok := lintkit.Unparen(pair[0]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		sel, ok := lintkit.Unparen(pair[1]).(*ast.SelectorExpr)
+		if !ok || !generationField(w.pass.TypesInfo.Uses[sel.Sel]) {
+			continue
+		}
+		if local, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			w.compares = append(w.compares, compare{section: st.section, local: local})
+		}
+	}
+}
+
+// recordMapInsert notes `m[k] = v` under the lock.
+func (w *walker) recordMapInsert(s *ast.AssignStmt, st state) {
+	for _, lhs := range s.Lhs {
+		ix, ok := lintkit.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		if _, ok := w.pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Map); ok {
+			w.inserts = append(w.inserts, insert{section: st.section, pos: s.Pos()})
+		}
+	}
+}
+
+// recordInsertCall notes put*/insert*/add*/store* helper calls under the lock.
+func (w *walker) recordInsertCall(call *ast.CallExpr, st state) {
+	callee := lintkit.CalleeFunc(w.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	name := strings.ToLower(callee.Name())
+	for _, prefix := range [...]string{"put", "insert", "add", "store"} {
+		if strings.HasPrefix(name, prefix) {
+			w.inserts = append(w.inserts, insert{section: st.section, pos: call.Pos()})
+			return
+		}
+	}
+}
+
+// checkGenerations applies the PR 4 rule after the walk: an insert in a
+// critical section that FOLLOWS a generation read from an earlier section
+// must be guarded by a re-comparison of that generation in its own section.
+func (w *walker) checkGenerations() {
+	for _, ins := range w.inserts {
+		for _, rd := range w.reads {
+			if rd.section >= ins.section {
+				continue
+			}
+			guarded := false
+			for _, cmp := range w.compares {
+				if cmp.section == ins.section && cmp.local == rd.local {
+					guarded = true
+					break
+				}
+			}
+			if !guarded {
+				w.pass.Reportf(ins.pos, "insert in %s publishes under generation %q read in an earlier critical section — re-check %s == %s in this critical section before inserting (PR 4 race)", w.fn, rd.local.Name(), rd.field.Name(), rd.local.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	linttest.Run(t, lockscope.Analyzer, "a")
+}

@@ -1,0 +1,95 @@
+// Package a exercises the lockscope analyzer: getOrBuild is the compliant
+// double-checked pattern from the plan cache, getOrBuildRacy reproduces the
+// PR 4 race (publish under a stale generation), and the remaining functions
+// cover each blocking-under-lock category and its compliant counterpart.
+package a
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type cache struct {
+	mu      sync.Mutex
+	gen     int
+	items   map[string]int
+	onEvict func(string)
+}
+
+// getOrBuild re-checks the generation in the same critical section as the
+// insert — the correct shape.
+func (c *cache) getOrBuild(k string) int {
+	c.mu.Lock()
+	if v, ok := c.items[k]; ok {
+		c.mu.Unlock()
+		return v
+	}
+	gen := c.gen
+	c.mu.Unlock()
+
+	v := buildValue(k)
+
+	c.mu.Lock()
+	if c.gen == gen {
+		c.items[k] = v
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// getOrBuildRacy publishes without re-checking: an invalidation between the
+// two critical sections is silently overwritten.
+func (c *cache) getOrBuildRacy(k string) int {
+	c.mu.Lock()
+	gen := c.gen
+	c.mu.Unlock()
+	_ = gen
+
+	v := buildValue(k)
+
+	c.mu.Lock()
+	c.items[k] = v // want `insert in getOrBuildRacy publishes under generation "gen"`
+	c.mu.Unlock()
+	return v
+}
+
+// notifyLocked commits every under-lock sin at once.
+func (c *cache) notifyLocked(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- 1                      // want `channel send while holding a mutex`
+	<-ch                         // want `channel receive while holding a mutex`
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding a mutex`
+	c.onEvict("x")               // want `call through a function value while holding a mutex`
+	c.items = buildMap()         // want `buildMap called while holding a mutex`
+}
+
+func dialLocked(mu *sync.Mutex, addr string) (net.Conn, error) {
+	mu.Lock()
+	conn, err := net.Dial("tcp", addr) // want `network call net\.Dial while holding a mutex`
+	mu.Unlock()
+	return conn, err
+}
+
+func waitLocked(c *cache, ch chan int) {
+	c.mu.Lock()
+	select { // want `select while holding a mutex`
+	case <-ch:
+	default:
+	}
+	c.mu.Unlock()
+}
+
+// notify is the compliant counterpart: the channel op happens after the
+// unlock, and the snapshot is taken under the lock.
+func (c *cache) notify(ch chan int) {
+	c.mu.Lock()
+	n := len(c.items)
+	c.mu.Unlock()
+	ch <- n
+}
+
+func buildValue(k string) int { return len(k) }
+
+func buildMap() map[string]int { return make(map[string]int) }

@@ -1,0 +1,163 @@
+// Package sentinelerr checks sentinel-error discipline for the engine's
+// exported sentinels (ErrInvalidOptions, ErrAggOverflow, and any other
+// package-level `var Err...` of type error):
+//
+//   - comparisons: a sentinel must be matched with errors.Is, never == or
+//     != (against anything but nil) and never as a switch case — the engine
+//     wraps errors with context, so identity comparison silently stops
+//     matching the moment a wrap is added;
+//   - wrapping: when a sentinel is passed to fmt.Errorf, the verb at its
+//     position must be %w — %v or %s flattens the chain and breaks
+//     errors.Is for every caller downstream.
+//
+// Unlike the other hydralint analyzers this one checks test files too:
+// tests are where identity comparisons habitually creep in.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "sentinel errors compared with errors.Is and wrapped only with %w",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelObj resolves e to a sentinel error object: a package-level var
+// (local or imported) named Err<UpperCase> whose type is error.
+func sentinelObj(pass *lintkit.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := lintkit.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	name := obj.Name()
+	if len(name) < 4 || !strings.HasPrefix(name, "Err") || name[3] < 'A' || name[3] > 'Z' {
+		return nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return nil
+	}
+	return obj
+}
+
+func isNil(pass *lintkit.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[lintkit.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func checkComparison(pass *lintkit.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		if obj := sentinelObj(pass, pair[0]); obj != nil && !isNil(pass, pair[1]) {
+			pass.Reportf(b.Pos(), "sentinel %s compared with %s — use errors.Is, identity breaks once the error is wrapped", obj.Name(), b.Op)
+			return
+		}
+	}
+}
+
+func checkSwitch(pass *lintkit.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if obj := sentinelObj(pass, e); obj != nil {
+				pass.Reportf(e.Pos(), "sentinel %s used as a switch case — use errors.Is, identity breaks once the error is wrapped", obj.Name())
+			}
+		}
+	}
+}
+
+// checkErrorf verifies that sentinels handed to fmt.Errorf sit under a %w verb.
+func checkErrorf(pass *lintkit.Pass, call *ast.CallExpr) {
+	callee := lintkit.CalleeFunc(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "fmt" || callee.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := lintkit.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		obj := sentinelObj(pass, arg)
+		if obj == nil {
+			continue
+		}
+		if i >= len(verbs) || verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(), "sentinel %s wrapped without %%w — the error chain is flattened and errors.Is stops matching", obj.Name())
+		}
+	}
+}
+
+// formatVerbs returns the verb letter for each argument position of a
+// Printf-style format string (ignoring %% and explicit argument indexes,
+// which the engine does not use).
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, and precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}

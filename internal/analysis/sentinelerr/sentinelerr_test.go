@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/sentinelerr"
+)
+
+func TestSentinelErr(t *testing.T) {
+	linttest.Run(t, sentinelerr.Analyzer, "a")
+}

@@ -1,0 +1,46 @@
+// Package a exercises the sentinelerr analyzer: ErrTooBig is the sentinel;
+// each misuse (identity compare, switch case, %v wrap) appears beside its
+// compliant form (errors.Is, %w).
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrTooBig = errors.New("too big")
+
+var errSmall = errors.New("small") // unexported: not a sentinel, unchecked
+
+func wrapGood(n int) error {
+	return fmt.Errorf("value %d: %w", n, ErrTooBig)
+}
+
+func wrapBad(n int) error {
+	return fmt.Errorf("value %d: %v", n, ErrTooBig) // want `sentinel ErrTooBig wrapped without %w`
+}
+
+func compareGood(err error) bool {
+	return errors.Is(err, ErrTooBig)
+}
+
+func compareBad(err error) bool {
+	return err == ErrTooBig // want `sentinel ErrTooBig compared with ==`
+}
+
+func compareNil() bool {
+	return ErrTooBig != nil
+}
+
+func compareSmall(err error) bool {
+	return err == errSmall
+}
+
+func classify(err error) string {
+	switch err {
+	case ErrTooBig: // want `sentinel ErrTooBig used as a switch case`
+		return "big"
+	default:
+		return ""
+	}
+}

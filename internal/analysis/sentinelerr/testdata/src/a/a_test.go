@@ -1,0 +1,12 @@
+package a
+
+import "testing"
+
+// Test files are NOT exempt: identity comparisons against sentinels creep
+// in through tests first.
+func TestClassify(t *testing.T) {
+	err := wrapBad(3)
+	if err == ErrTooBig { // want `sentinel ErrTooBig compared with ==`
+		t.Fatal("wrapped error must not be identical to the sentinel")
+	}
+}

@@ -110,12 +110,12 @@ func executeColumnarFrom(ctx context.Context, db *Database, plan *Plan, opts Exe
 	}
 	res := &ExecResult{Root: node, Trace: node.sp}
 	b := batch.NewCol(width, opts.BatchSize, pop)
-	runColumnar(ctl, it, b, plan, opts, res)
+	derr := runColumnar(ctl, it, b, plan, opts, res)
 	if ctl.err != nil {
 		return nil, ctl.err
 	}
-	if err := it.deferredErr(); err != nil {
-		return nil, err
+	if derr != nil {
+		return nil, derr
 	}
 	return res, nil
 }
@@ -144,11 +144,15 @@ func allCols(n int) []int {
 }
 
 // runColumnar drives the opened operator tree to exhaustion, accumulating
-// rows, samples, and the COUNT value into res. The drive loop is one of
+// rows, samples, and the COUNT value into res, and returns the pipeline's
+// deferred error once the drain completes. The drive loop is one of
 // the engine's cancellation points: it stops pulling batches once ctl
 // observes the context done (covering sink emit phases, which pull no scan
-// batches); the caller surfaces ctl.err.
-func runColumnar(ctl *execCtl, it colIterator, b *batch.ColBatch, plan *Plan, opts ExecOptions, res *ExecResult) {
+// batches); the caller surfaces ctl.err, which takes precedence over the
+// returned deferred error.
+//
+//hydra:hotpath
+func runColumnar(ctl *execCtl, it colIterator, b *batch.ColBatch, plan *Plan, opts ExecOptions, res *ExecResult) error {
 	agg := plan.countStar()
 	for !ctl.stopped() && it.Next(b) {
 		live := b.Live()
@@ -171,6 +175,7 @@ func runColumnar(ctl *execCtl, it colIterator, b *batch.ColBatch, plan *Plan, op
 		}
 	}
 	res.Root.OutRows = res.Rows
+	return it.deferredErr()
 }
 
 // openCol builds the columnar operator tree for pn and its ExecNode mirror,

@@ -624,12 +624,12 @@ func (pp *parallelPlan) run(ctx context.Context, workers int, opts ExecOptions) 
 	// context: a cancellation arriving during a large merged-sort emit still
 	// unwinds at the next batch boundary.
 	mctl := &execCtl{ctx: ctx}
-	runColumnar(mctl, cur, b, pp.plan, opts, res)
+	derr := runColumnar(mctl, cur, b, pp.plan, opts, res)
 	if mctl.err != nil {
 		return nil, mctl.err
 	}
-	if err := cur.deferredErr(); err != nil {
-		return nil, err
+	if derr != nil {
+		return nil, derr
 	}
 	return res, nil
 }

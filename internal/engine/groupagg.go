@@ -392,11 +392,20 @@ func (st *groupAggState) finish() {
 		lo, hi := st.accs[ai], st.accsHi[ai]
 		for g := range lo {
 			if !sum128Fits(lo[g], hi[g]) {
-				st.err = fmt.Errorf("engine: %w: %s total exceeds int64", ErrAggOverflow, fn)
+				st.err = aggOverflowErr(fn)
 				return
 			}
 		}
 	}
+}
+
+// aggOverflowErr builds the judged-overflow error off the hot path; finish
+// runs per sink drain, and the formatting must not ride along when every
+// total fits.
+//
+//hydra:coldpath
+func aggOverflowErr(fn sqlkit.AggFunc) error {
+	return fmt.Errorf("engine: %w: %s total exceeds int64", ErrAggOverflow, fn)
 }
 
 // sort.Interface over order, comparing key tuples. Implemented on the state

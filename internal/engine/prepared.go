@@ -204,12 +204,12 @@ func (p *Prepared) ExecuteInContext(ctx context.Context, st *ExecState, opts Exe
 		}
 		return &st.res, nil
 	}
-	runColumnar(&st.ctl, st.it, st.b, p.plan, opts, &st.res)
+	derr := runColumnar(&st.ctl, st.it, st.b, p.plan, opts, &st.res)
 	if st.ctl.err != nil {
 		return nil, st.ctl.err
 	}
-	if err := st.it.deferredErr(); err != nil {
-		return nil, err
+	if derr != nil {
+		return nil, derr
 	}
 	return &st.res, nil
 }

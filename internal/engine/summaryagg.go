@@ -384,6 +384,8 @@ func (e *summaryAggEval) open(ctl *execCtl) {
 
 // run evaluates every summary row into the shared aggregation state and
 // emits the result. Steady state allocates nothing (SampleLimit == 0).
+//
+//hydra:hotpath
 func (e *summaryAggEval) run(ctl *execCtl, res *ExecResult, opts ExecOptions) error {
 	if ctl.stopped() {
 		return ctl.err
@@ -684,6 +686,7 @@ func (e *summaryAggEval) emitExact(res *ExecResult, opts ExecOptions) {
 		total := st.counts[0]
 		res.Rows, res.Count = 1, total
 		if opts.SampleLimit > 0 {
+			//hydralint:ignore hotpath sampled rows escape to the caller by design; SampleLimit>0 is off the steady-state path
 			res.Sample = append(res.Sample, []int64{total})
 		}
 		return
@@ -714,6 +717,7 @@ func (e *summaryAggEval) emitApprox(res *ExecResult, opts ExecOptions) {
 	if e.countOnly {
 		res.Rows, res.Count = 1, cnt
 		if opts.SampleLimit > 0 {
+			//hydralint:ignore hotpath sampled rows escape to the caller by design; SampleLimit>0 is off the steady-state path
 			res.Sample = append(res.Sample, []int64{cnt})
 		}
 		return

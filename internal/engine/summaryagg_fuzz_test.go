@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// FuzzSum128 differentially tests the summary-direct path's 128-bit helpers
+// against math/big: mul128 and mulAcc128 (word arithmetic and sign
+// correction), sumSet128 (the exact-halving interval sum), and the float
+// conversions sum128Float / sumSetFloat — the catastrophic-cancellation
+// class PR 8 fixed by hand (a small negative total computed as
+// −2⁶⁴ + (2⁶⁴ − ε) through the wide path).
+
+// bigIntervalSum is the exact sum of an interval's points: u·(lo+hi−1)/2
+// with u = hi−lo; exactly one factor is even, so the division is exact.
+func bigIntervalSum(iv value.Interval) *big.Int {
+	if iv.Empty() {
+		return new(big.Int)
+	}
+	u := new(big.Int).SetInt64(iv.Hi - iv.Lo)
+	m := new(big.Int).SetInt64(iv.Lo + iv.Hi - 1)
+	u.Mul(u, m)
+	return u.Rsh(u, 1)
+}
+
+func FuzzSum128(f *testing.F) {
+	// The PR 8 catastrophic-cancellation witness: total −5 carried as
+	// lo=−5, hi=−1; the wide conversion path loses it to rounding.
+	f.Add(int64(-5), int64(-1), int64(3), int64(-7), int64(9), int64(-100), int64(50), int64(3), int64(1000))
+	f.Add(int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0))
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64), int64(math.MinInt64), int64(math.MaxInt64), int64(1), int64(value.DomainMax/3), int64(1<<31), int64(7), int64(1<<30))
+	f.Add(int64(-1), int64(0), int64(-1), int64(-1), int64(math.MaxInt64), int64(value.DomainMin/3), int64(1<<20), int64(0), int64(5))
+	f.Fuzz(func(t *testing.T, lo, hi, a, b, c int64, iv1lo, iv1n, gap, iv2n int64) {
+		// mul128: unrestricted — any int64 product fits in 128 bits.
+		pl, ph := mul128(a, b)
+		wantMul := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		if big128(pl, ph).Cmp(wantMul) != 0 {
+			t.Fatalf("mul128(%d, %d) = %v, want %v", a, b, big128(pl, ph), wantMul)
+		}
+
+		// mulAcc128: bounded to its documented contract (c >= 0, operands
+		// small enough that hi*c cannot overflow; the engine's totals stay
+		// below 2¹²⁴).
+		mHi := hi % (1 << 40)
+		cm := c % (1 << 20)
+		if cm < 0 {
+			cm = -cm
+		}
+		accHi := a % (1 << 40)
+		gl, gh := mulAcc128(lo, accHi, b, mHi, cm)
+		wantAcc := new(big.Int).Mul(big128(b, mHi), big.NewInt(cm))
+		wantAcc.Add(wantAcc, big128(lo, accHi))
+		if big128(gl, gh).Cmp(wantAcc) != 0 {
+			t.Fatalf("mulAcc128(%d,%d, %d,%d, %d) = %v, want %v", lo, accHi, b, mHi, cm, big128(gl, gh), wantAcc)
+		}
+
+		// sumSet128 over a canonical two-interval set built inside the
+		// value domain: exact against per-interval big sums.
+		lo1 := iv1lo % (value.DomainMax / 2)
+		n1 := iv1n & (1<<32 - 1)
+		g := gap&(1<<16-1) + 1
+		n2 := iv2n & (1<<32 - 1)
+		set := value.IntervalSet{
+			value.Ival(lo1, lo1+n1),
+			value.Ival(lo1+n1+g, lo1+n1+g+n2),
+		}
+		sl, sh := sumSet128(set)
+		wantSum := new(big.Int)
+		maxContrib := new(big.Float)
+		for _, iv := range set {
+			contrib := bigIntervalSum(iv)
+			wantSum.Add(wantSum, contrib)
+			cf := new(big.Float).SetInt(contrib)
+			if cf.Abs(cf).Cmp(maxContrib) > 0 {
+				maxContrib = cf
+			}
+		}
+		if big128(sl, sh).Cmp(wantSum) != 0 {
+			t.Fatalf("sumSet128(%v) = %v, want %v", set, big128(sl, sh), wantSum)
+		}
+
+		// sumSetFloat: the estimation path re-derives the same sum in
+		// float64; each interval contributes ~1e-16 relative error, and
+		// opposite-sign intervals may cancel, so the bound is scaled by the
+		// largest contribution, not the result.
+		wantF, _ := new(big.Float).SetInt(wantSum).Float64()
+		maxC, _ := maxContrib.Float64()
+		if sf := sumSetFloat(set); math.Abs(sf-wantF) > 1e-12*maxC+1e-9 {
+			t.Fatalf("sumSetFloat(%v) = %g, want %g (tol %g)", set, sf, wantF, 1e-12*maxC)
+		}
+
+		// sum128Float on the raw fuzz words. When the value fits the low
+		// word the conversion must be exact to float64 rounding (this is
+		// the PR 8 class: small totals with hi = sign extension); the wide
+		// path tolerates cancellation up to ~4 ulp of the larger term.
+		got := sum128Float(lo, hi)
+		want128, _ := new(big.Float).SetInt(big128(lo, hi)).Float64()
+		if hi == lo>>63 {
+			if got != want128 {
+				t.Fatalf("sum128Float(%d, %d) = %g, want exactly %g", lo, hi, got, want128)
+			}
+		} else if math.Abs(got-want128) > math.Abs(want128)*1e-12 {
+			t.Fatalf("sum128Float(%d, %d) = %g, want %g", lo, hi, got, want128)
+		}
+
+		// And on the interval-set total, as the fast path consumes it.
+		gotSumF := sum128Float(sl, sh)
+		if sh == sl>>63 {
+			if gotSumF != wantF {
+				t.Fatalf("sum128Float(sumSet128(%v)) = %g, want exactly %g", set, gotSumF, wantF)
+			}
+		} else if math.Abs(gotSumF-wantF) > math.Abs(wantF)*1e-12 {
+			t.Fatalf("sum128Float(sumSet128(%v)) = %g, want %g", set, gotSumF, wantF)
+		}
+	})
+}

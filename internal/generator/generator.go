@@ -187,6 +187,8 @@ func (s *Stream) Cols() int { return len(s.table.Columns) }
 
 // Next produces the next tuple. The returned slice is reused across calls;
 // callers that retain rows must copy them.
+//
+//hydra:hotpath
 func (s *Stream) Next() ([]int64, bool) {
 	if s.cursor >= len(s.flat) {
 		if s.buf == nil {
@@ -213,6 +215,8 @@ const tileRows = 128
 // NextBatch resets dst and fills it with up to dst.Cap() generated rows,
 // reporting whether any were produced. dst must have width Cols(). A
 // Section or Partition sub-stream stops at its range's upper bound.
+//
+//hydra:hotpath
 func (s *Stream) NextBatch(dst *batch.Batch) bool {
 	dst.Reset()
 	ncols := len(s.table.Columns)
@@ -269,6 +273,8 @@ func (s *Stream) NextBatch(dst *batch.Batch) bool {
 // byte-identical to NextBatch's, column by column. Stream implements
 // batch.ColProjector; a Section or Partition sub-stream stops at its
 // range's upper bound.
+//
+//hydra:hotpath
 func (s *Stream) NextColBatch(dst *batch.ColBatch, cols []int) bool {
 	dst.Reset()
 	for dst.Len() < dst.Cap() && s.pk < s.end && s.rowIdx < len(s.rel.Rows) {

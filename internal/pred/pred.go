@@ -313,6 +313,8 @@ func (m *Matcher) AllRanges() []ColRange {
 // column is applied as one tight pass: the first pass writes survivors to
 // dst, later passes refine dst in place (safe even when dst aliases sel —
 // the write index never passes the read index).
+//
+//hydra:hotpath
 func (m *Matcher) MatchVec(cols [][]int64, n int, sel []int32, dst []int32) []int32 {
 	if len(m.cols) == 0 {
 		if sel == nil {
@@ -383,6 +385,8 @@ func (m *Matcher) MatchVec(cols [][]int64, n int, sel []int32, dst []int32) []in
 }
 
 // Match reports whether the coded row satisfies the compiled region.
+//
+//hydra:hotpath
 func (m *Matcher) Match(row []int64) bool {
 	for i := range m.cols {
 		mc := &m.cols[i]

@@ -145,6 +145,8 @@ type Server struct {
 	// context is a child of the request context AND this one (via
 	// context.AfterFunc), so a drain whose grace expires can cancel all
 	// running work without tracking individual requests.
+	//
+	//hydralint:ignore ctxfield server-lifetime cancellation root, not a request context; canceled only by CancelInFlight/Close
 	hardCtx    context.Context
 	hardCancel context.CancelFunc
 
