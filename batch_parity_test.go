@@ -92,9 +92,12 @@ func checkWorkloadParity(t *testing.T, pkg *TransferPackage, queries []string) {
 	for _, size := range []int{0, 3} {
 		// NoSummaryAgg pins the regenerating pipeline: this suite compares
 		// operator trees node by node, which the summary-direct fast path
-		// intentionally collapses. Its value parity is checked separately
-		// below (and exhaustively in the summaryagg parity suite).
-		opts := engine.ExecOptions{SampleLimit: 5, BatchSize: size, NoSummaryAgg: true}
+		// intentionally collapses. NoScanPrune keeps the trees isomorphic to
+		// the materialized side's (pruning absorbs filter operators that a
+		// stored scan must still run). Value parity with both fast paths
+		// enabled is checked separately below (and exhaustively in the
+		// summaryagg and scan-prune parity suites).
+		opts := engine.ExecOptions{SampleLimit: 5, BatchSize: size, NoSummaryAgg: true, NoScanPrune: true}
 		for _, sql := range queries {
 			batched := execWith(t, regen, sql, opts, engine.Execute)
 			rows := execWith(t, regen, sql, opts, engine.ExecuteRows)
@@ -105,10 +108,12 @@ func checkWorkloadParity(t *testing.T, pkg *TransferPackage, queries []string) {
 			// Dataless and materialized execution see the same tuples, so
 			// their results (not just counts) must coincide too.
 			sameResult(t, sql+" [dataless vs materialized]", batched, matBatched)
-			// With the fast path allowed, values must still be identical
-			// whether the summary or the pipeline answered.
+			// With the fast paths allowed, values must still be identical
+			// whether the summary, the pruned scan, or the full pipeline
+			// answered.
 			fastOpts := opts
 			fastOpts.NoSummaryAgg = false
+			fastOpts.NoScanPrune = false
 			fast := execWith(t, regen, sql, fastOpts, engine.Execute)
 			sameValues(t, sql+" [fast path]", fast, batched)
 		}

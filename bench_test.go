@@ -464,3 +464,55 @@ func BenchmarkDistinctQuery(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkPrunedQuery measures predicate pushdown into generation: a
+// low-selectivity filtered join whose filter is compiled into the scan's
+// qualifying row-space, so non-matching tuples are never materialized.
+// "baseline" runs the identical plan with NoScanPrune — the spread is what
+// skip-and-seek generation saves. The steady sub-benchmark reuses prepared
+// state over rewinding SectionSet iterators (pruned_steady in the bench
+// JSON pins it to zero allocations).
+func BenchmarkPrunedQuery(b *testing.B) {
+	cfg := benchConfig()
+	_, sum := mustBuild(b, cfg)
+	db := Regen(sum, 0)
+	const sql = "SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk AND ss_quantity >= 20 AND ss_quantity < 22"
+	opts := ExecOptions{NoSummaryAgg: true}
+	b.Run("baseline", func(b *testing.B) {
+		ref := opts
+		ref.NoScanPrune = true
+		for i := 0; i < b.N; i++ {
+			if _, err := Query(db, sql, ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Query(db, sql, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("steady", func(b *testing.B) {
+		prep, err := Prepare(db, sql, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st ExecState
+		res, err := prep.ExecuteIn(&st, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if prunedRows(res.Root) == 0 {
+			b.Fatal("benchmark query did not prune")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.ExecuteIn(&st, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -250,6 +250,101 @@ func runJSONBench(w io.Writer, cfg experiments.Config) error {
 	})
 	rows = append(rows, row("dataless_join_prepared", joinPrepared, float64(jrows)))
 
+	// Predicate pushdown into generation: low-selectivity filters compiled
+	// into the scan's row-space, so non-matching tuples are never
+	// materialized. rows_per_sec keeps the unpruned-input denominator, so
+	// the ratio against the matching dataless_* rows is the pushdown's
+	// effective speedup. Each row asserts pruning actually fired
+	// (RowsPruned > 0 on a scan); a silent fall-back to generate-then-filter
+	// fails the bench run rather than drifting into the trajectory.
+	assertPruned := func(name string, res *engine.ExecResult) error {
+		var pruned int64
+		var walk func(n *engine.ExecNode)
+		walk = func(n *engine.ExecNode) {
+			pruned += n.RowsPruned
+			for _, ch := range n.Children {
+				walk(ch)
+			}
+		}
+		walk(res.Root)
+		if pruned == 0 {
+			return fmt.Errorf("bench: %s executed without pruning; the pruned scan path has regressed", name)
+		}
+		return nil
+	}
+	pfq, err := sqlkit.Parse("SELECT COUNT(*) FROM store_sales WHERE ss_quantity >= 20 AND ss_quantity < 22")
+	if err != nil {
+		return err
+	}
+	pfplan, err := engine.BuildPlan(regen.Schema, pfq)
+	if err != nil {
+		return err
+	}
+	pfrows := planInputRows(sum, pfplan)
+	if res, err := engine.Execute(regen, pfplan, regenOpts); err != nil {
+		return err
+	} else if err := assertPruned("pruned_filter_fresh", res); err != nil {
+		return err
+	}
+	prunedFresh := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Execute(regen, pfplan, regenOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rows = append(rows, row("pruned_filter_fresh", prunedFresh, float64(pfrows)))
+
+	pjq, err := sqlkit.Parse("SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk AND ss_quantity >= 20 AND ss_quantity < 22")
+	if err != nil {
+		return err
+	}
+	pjplan, err := engine.BuildPlan(regen.Schema, pjq)
+	if err != nil {
+		return err
+	}
+	pjrows := planInputRows(sum, pjplan)
+	if res, err := engine.Execute(regen, pjplan, regenOpts); err != nil {
+		return err
+	} else if err := assertPruned("pruned_join", res); err != nil {
+		return err
+	}
+	prunedJoin := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Execute(regen, pjplan, regenOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rows = append(rows, row("pruned_join", prunedJoin, float64(pjrows)))
+
+	// Steady-state pruned execution: the SectionSet iterators rewind in
+	// place, so the pruned filtered join shares the zero-allocation
+	// contract with every other *_steady row.
+	pprep, err := engine.Prepare(regen, pjplan, regenOpts)
+	if err != nil {
+		return err
+	}
+	var pst engine.ExecState
+	if res, err := pprep.ExecuteIn(&pst, regenOpts); err != nil {
+		return err
+	} else if err := assertPruned("pruned_steady", res); err != nil {
+		return err
+	}
+	prunedSteady := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pprep.ExecuteIn(&pst, regenOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	prunedSteadyRow := row("pruned_steady", prunedSteady, float64(pjrows))
+	if prunedSteadyRow.AllocsPerOp != 0 {
+		return fmt.Errorf("bench: steady-state pruned query allocates %d objects/op, want 0 (zero-allocation audit)", prunedSteadyRow.AllocsPerOp)
+	}
+	rows = append(rows, prunedSteadyRow)
+
 	// Morsel-driven parallel execution at 1/2/4/8 workers of the same
 	// query (ExecuteParallel honors the worker count verbatim, so the
 	// scaling series is meaningful on any host; speedup saturates at the

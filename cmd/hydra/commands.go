@@ -249,7 +249,7 @@ func cmdScenario(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment id (E1..E17, E15 excepted — see EXPERIMENTS.md) or all")
+	exp := fs.String("exp", "all", "experiment id (E1..E18, E15 excepted — see EXPERIMENTS.md) or all")
 	sf := fs.Float64("sf", 1.0, "warehouse scale factor")
 	nq := fs.Int("queries", 131, "workload size")
 	seed := fs.Int64("seed", 7, "seed")
@@ -306,6 +306,7 @@ func cmdBench(args []string) error {
 		// bench -json loadtest_* rows, not as a table here.
 		{"E16", func() error { return experiments.E16TraceOverhead(w, cfg) }},
 		{"E17", func() error { return experiments.E17SummaryAgg(w, cfg, []float64{0.25, 0.5, 1, 2, 4}) }},
+		{"E18", func() error { return experiments.E18ScanPrune(w, cfg, []float64{0.001, 0.01, 0.1, 0.5, 1}) }},
 	}
 	for _, s := range steps {
 		if err := run(s.id, s.fn); err != nil {

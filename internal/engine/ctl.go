@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/trace"
@@ -47,6 +48,11 @@ type execCtl struct {
 	ctx context.Context
 	err error // first observed ctx error, latched for the execution
 	rec *trace.Recorder
+	// prunes maps OpFilter plan nodes to their precomputed qualifying
+	// row-spaces (prune.go). A nil map (the NoScanPrune opt-out, or fronts
+	// that never computed one) misses every lookup, so operators need no
+	// separate gate.
+	prunes pruneCache
 }
 
 // bind points the control at the next execution's context, clearing any
@@ -113,13 +119,18 @@ func (c *execCtl) annotateFrozen(node *ExecNode) *trace.Span {
 	return sp
 }
 
-// nodeDetail picks the operator's distinguishing argument for its span.
+// nodeDetail picks the operator's distinguishing argument for its span. A
+// pruned scan reports its prune counts here, so EXPLAIN ANALYZE and the
+// span tree surface what generation never materialized. (annotate runs once
+// per open, off the hot path, so the formatting cost is irrelevant.)
 func nodeDetail(n *ExecNode) string {
 	switch {
 	case n.PredSQL != "":
 		return n.PredSQL
 	case n.JoinSQL != "":
 		return n.JoinSQL
+	case n.RowsPruned > 0 || n.SummaryRowsSkipped > 0:
+		return fmt.Sprintf("%s [pruned %d rows, skipped %d summary rows]", n.Table, n.RowsPruned, n.SummaryRowsSkipped)
 	default:
 		return n.Table
 	}

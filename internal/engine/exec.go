@@ -16,12 +16,26 @@ import (
 // query plans. When the execution is traced, each node also carries its
 // span — same tree, timing view — reachable from ExecResult.Trace.
 type ExecNode struct {
-	Op       string      `json:"op"`
-	Table    string      `json:"table,omitempty"`
-	PredSQL  string      `json:"pred,omitempty"`
-	JoinSQL  string      `json:"join,omitempty"`
-	OutRows  int64       `json:"out_rows"`
-	Children []*ExecNode `json:"children,omitempty"`
+	Op      string `json:"op"`
+	Table   string `json:"table,omitempty"`
+	PredSQL string `json:"pred,omitempty"`
+	JoinSQL string `json:"join,omitempty"`
+	// OutRows is the operator's observed output cardinality. Under scan
+	// pruning (prune.go) the invariant is: a SCAN reports the rows it
+	// actually generated — the pruned row-space, a pure function of the
+	// summary and the predicate, so the number is identical on every
+	// execution front and across prepared re-executions — and a residual
+	// FILTER reports its survivors. A fully absorbed filter disappears
+	// from the tree; the scan's OutRows then equals what the filter's
+	// output was unpruned, which is what keeps the execution-mode
+	// invariance the parity suites pin.
+	OutRows int64 `json:"out_rows"`
+	// RowsPruned and SummaryRowsSkipped are set on SCAN nodes whose
+	// row-space was pruned: tuples proven non-matching and never
+	// generated, and whole summary rows excluded outright.
+	RowsPruned         int64       `json:"rows_pruned,omitempty"`
+	SummaryRowsSkipped int64       `json:"summary_rows_skipped,omitempty"`
+	Children           []*ExecNode `json:"children,omitempty"`
 
 	sp *trace.Span // span mirror when traced, nil otherwise
 }
@@ -98,6 +112,12 @@ type ExecOptions struct {
 	// comparing full operator trees and benchmarks measuring regeneration
 	// set it; normal queries should not.
 	NoSummaryAgg bool
+	// NoScanPrune disables predicate pushdown into generation (prune.go):
+	// scans iterate the full [0, Total) row-space and every filter runs as
+	// a MatchVec operator. The pruned path is byte-identical by
+	// construction; this opt-out exists for the parity suites and
+	// benchmarks that measure the unpruned baseline.
+	NoScanPrune bool
 }
 
 // ErrInvalidOptions tags ExecOptions validation failures; test with
@@ -156,9 +176,9 @@ func ExecuteContext(ctx context.Context, db *Database, plan *Plan, opts ExecOpti
 	ctx, cancel := withTimeout(ctx, opts.Timeout)
 	defer cancel()
 	if opts.Parallelism >= 1 {
-		return executeParallelFrom(ctx, db, plan, opts, nil)
+		return executeParallelFrom(ctx, db, plan, opts, nil, nil)
 	}
-	return executeColumnarFrom(ctx, db, plan, opts, nil, nil)
+	return executeColumnarFrom(ctx, db, plan, opts, nil, nil, nil)
 }
 
 // ExecuteRows runs a plan and surfaces its output one row at a time: a thin
@@ -187,6 +207,7 @@ func ExecuteRowsContext(ctx context.Context, db *Database, plan *Plan, opts Exec
 	if res, ok, err := trySummaryAgg(ctl, db, plan, opts); ok {
 		return res, err
 	}
+	ctl.prunes = prunesFor(db, plan, opts, nil)
 	it, width, pop, node, err := openCol(db, plan.Root, rowNeed(plan), opts.BatchSize, nil, nil, ctl)
 	if err != nil {
 		return nil, err

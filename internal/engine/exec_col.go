@@ -89,7 +89,7 @@ func cloneExecNode(n *ExecNode) *ExecNode {
 // ExecuteContext, with an optional pre-opened scan and prepared join
 // builds. ctx is observed at batch boundaries (see ctl.go); a canceled
 // execution returns the context's error.
-func executeColumnarFrom(ctx context.Context, db *Database, plan *Plan, opts ExecOptions, ov *scanOverride, builds buildCache) (*ExecResult, error) {
+func executeColumnarFrom(ctx context.Context, db *Database, plan *Plan, opts ExecOptions, ov *scanOverride, builds buildCache, prunes pruneCache) (*ExecResult, error) {
 	ctl := &execCtl{ctx: ctx}
 	if opts.Trace {
 		ctl.rec = trace.NewRecorder(countPlanNodes(plan.Root))
@@ -103,6 +103,7 @@ func executeColumnarFrom(ctx context.Context, db *Database, plan *Plan, opts Exe
 			return res, err
 		}
 	}
+	ctl.prunes = prunesFor(db, plan, opts, prunes)
 	need := rootNeed(plan, opts)
 	it, width, pop, node, err := openCol(db, plan.Root, need, opts.BatchSize, ov, builds, ctl)
 	if err != nil {
@@ -211,6 +212,12 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 		return s, width, need, node, nil
 
 	case OpFilter:
+		// A precomputed qualifying row-space turns filter-over-scan into a
+		// pruned scan: non-matching tuples are never generated, and when
+		// every conjunct was proven the filter operator disappears.
+		if pr := ctl.prunes[pn]; pr != nil {
+			return openPrunedFilter(db, pn, pr, need, capRows, ov, builds, ctl)
+		}
 		// The filter refines the child's selection in place, so its output
 		// batches are the child's: populated set passes through.
 		childNeed := pn.childNeeds(need)[0]
@@ -335,6 +342,57 @@ func openCol(db *Database, pn *PlanNode, need []int, capRows int, ov *scanOverri
 	default:
 		return nil, 0, nil, nil, fmt.Errorf("engine: unknown operator %v", pn.Op)
 	}
+}
+
+// openPrunedFilter opens an OpFilter whose qualifying row-space was
+// precomputed: the child scan iterates only the qualifying intervals via
+// the source's SectionSet. When the filter was fully absorbed the scan
+// replaces it outright (and skips materializing the predicate columns the
+// MatchVec would have read); otherwise the residual filter wraps the pruned
+// scan — exact because pruning only removed provably-failing tuples and
+// never reordered survivors. A source without the row-space capability (a
+// paced stream, caller-supplied datagen) is handed down to the ordinary
+// path unopened-again, honoring the one-invocation-per-scan contract.
+func openPrunedFilter(db *Database, pn *PlanNode, pr *scanPrune, need []int, capRows int, ov *scanOverride, builds buildCache, ctl *execCtl) (colIterator, int, []int, *ExecNode, error) {
+	scanPn := pn.Children[0]
+	var src batch.Source
+	if ov != nil && !ov.used && ov.table == scanPn.Table {
+		src = ov.src
+		ov.used = true
+	} else {
+		var err error
+		src, err = db.openBatchScan(scanPn.Table)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+	}
+	rs, ok := src.(rowSpaceSource)
+	if !ok {
+		local := &scanOverride{table: scanPn.Table, src: src}
+		childNeed := pn.childNeeds(need)[0]
+		child, width, pop, childNode, err := openCol(db, scanPn, childNeed, capRows, local, builds, ctl)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		table := db.Schema.Table(pn.Pred.Table)
+		node := &ExecNode{Op: pn.Op.String(), Table: pn.Pred.Table, PredSQL: pn.Pred.SQL(table), Children: []*ExecNode{childNode}}
+		return &colFilterIter{child: child, m: pn.Pred.Matcher(), node: node, sp: ctl.annotate(node)}, width, pop, node, nil
+	}
+	sub := rs.SectionSet(pr.ivs)
+	width := len(db.Schema.Table(scanPn.Table).Columns)
+	scanCols := need
+	if !pr.absorbed {
+		scanCols = pn.childNeeds(need)[0]
+	}
+	scanNode := &ExecNode{Op: OpScan.String(), Table: scanPn.Table, RowsPruned: pr.pruned, SummaryRowsSkipped: pr.skipped}
+	s := &colScanIter{table: scanPn.Table, src: sub, proj: asProjector(sub, width), cols: scanCols, width: width, node: scanNode, ctl: ctl}
+	s.sp, s.rowBytes = ctl.annotate(scanNode), 8*int64(len(scanCols))
+	if pr.absorbed {
+		return s, width, scanCols, scanNode, nil
+	}
+	table := db.Schema.Table(pn.Pred.Table)
+	node := &ExecNode{Op: pn.Op.String(), Table: pn.Pred.Table, PredSQL: pn.Pred.SQL(table), Children: []*ExecNode{scanNode}}
+	return &colFilterIter{child: s, m: pn.Pred.Matcher(), node: node, sp: ctl.annotate(node)}, width, scanCols, node, nil
 }
 
 // asProjector views a scan source as a column projector: batch-capable

@@ -52,14 +52,14 @@ func ExecuteParallel(db *Database, plan *Plan, opts ExecOptions) (*ExecResult, e
 func ExecuteParallelContext(ctx context.Context, db *Database, plan *Plan, opts ExecOptions) (*ExecResult, error) {
 	ctx, cancel := withTimeout(ctx, opts.Timeout)
 	defer cancel()
-	return executeParallelFrom(ctx, db, plan, opts, nil)
+	return executeParallelFrom(ctx, db, plan, opts, nil, nil)
 }
 
 // executeParallelFrom is the parallel executor behind
 // ExecuteParallelContext, with optional prepared join builds (the serve
 // cache's steady-state path). The caller has already folded opts.Timeout
 // into ctx when it should apply.
-func executeParallelFrom(ctx context.Context, db *Database, plan *Plan, opts ExecOptions, builds buildCache) (*ExecResult, error) {
+func executeParallelFrom(ctx context.Context, db *Database, plan *Plan, opts ExecOptions, builds buildCache, prunes pruneCache) (*ExecResult, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -78,6 +78,7 @@ func executeParallelFrom(ctx context.Context, db *Database, plan *Plan, opts Exe
 	if res, ok, err := trySummaryAgg(ctl, db, plan, opts); ok {
 		return res, err
 	}
+	ctl.prunes = prunesFor(db, plan, opts, prunes)
 	pp, fallback, err := openParallel(db, plan, opts, builds, ctl)
 	if err != nil {
 		return nil, err
@@ -86,7 +87,7 @@ func executeParallelFrom(ctx context.Context, db *Database, plan *Plan, opts Exe
 		// Not partitionable. If the leaf scan was already opened to probe
 		// its capability, hand it to the sequential path — a table's
 		// DatagenFunc is invoked once per scan, never twice.
-		return executeColumnarFrom(ctx, db, plan, opts, fallback, builds)
+		return executeColumnarFrom(ctx, db, plan, opts, fallback, builds, ctl.prunes)
 	}
 	return pp.run(ctx, workers, opts)
 }
@@ -225,6 +226,26 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache,
 	}
 	pp.src = ps
 
+	// Predicate pushdown into generation: swap the leaf's row space for the
+	// precomputed qualifying one, so morsels partition only live rows and
+	// workers never inherit dead ranges. An absorbed filter disappears from
+	// the spine — the residual-free case — exactly as on the sequential
+	// path, keeping the operator shape mode-invariant.
+	var prune *scanPrune
+	if fp := pp.filterPn; fp != nil {
+		if pr := ctl.prunes[fp]; pr != nil {
+			if rs, ok := src.(rowSpaceSource); ok {
+				if pruned, ok := rs.SectionSet(pr.ivs).(parallel.Source); ok {
+					pp.src = pruned
+					prune = pr
+					if pr.absorbed {
+						pp.filterPn = nil
+					}
+				}
+			}
+		}
+	}
+
 	// Required-column analysis, top-down: the root's need (samples
 	// materialize the full output, COUNT(*) only its count column) is
 	// translated through each sink by the same childNeeds the sequential
@@ -267,6 +288,10 @@ func openParallel(db *Database, plan *Plan, opts ExecOptions, builds buildCache,
 	// private spans and the real ones receive the worker-order merge.
 	pp.rec = ctl.rec
 	pp.scanNode = &ExecNode{Op: OpScan.String(), Table: pn.Table}
+	if prune != nil {
+		pp.scanNode.RowsPruned = prune.pruned
+		pp.scanNode.SummaryRowsSkipped = prune.skipped
+	}
 	ctl.annotate(pp.scanNode)
 	width := len(db.Schema.Table(pn.Table).Columns)
 	pp.scanCols = width

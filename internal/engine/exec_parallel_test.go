@@ -111,7 +111,7 @@ func TestExecuteParallelStoredParity(t *testing.T) {
 		plan := mustPlan(t, db, sql)
 		for _, size := range []int{0, 3, 64} {
 			seqOpts := ExecOptions{SampleLimit: 7, BatchSize: size}
-			want, err := executeColumnarFrom(context.Background(), db, plan, seqOpts, nil, nil)
+			want, err := executeColumnarFrom(context.Background(), db, plan, seqOpts, nil, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -149,7 +149,7 @@ func TestExecuteParallelFallback(t *testing.T) {
 		"SELECT DISTINCT q FROM fact",
 	} {
 		plan := mustPlan(t, db, sql)
-		want, err := executeColumnarFrom(context.Background(), db, plan, ExecOptions{SampleLimit: 5}, nil, nil)
+		want, err := executeColumnarFrom(context.Background(), db, plan, ExecOptions{SampleLimit: 5}, nil, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

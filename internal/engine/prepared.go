@@ -21,7 +21,8 @@ type Prepared struct {
 	db      *Database
 	plan    *Plan
 	builds  buildCache
-	spanCap int // span-arena capacity a traced execution needs, sized here
+	prunes  pruneCache // qualifying row-spaces, computed once at Prepare time
+	spanCap int        // span-arena capacity a traced execution needs, sized here
 }
 
 // Plan returns the compiled plan the Prepared executes.
@@ -40,6 +41,10 @@ func Prepare(db *Database, plan *Plan, opts ExecOptions) (*Prepared, error) {
 		return nil, err
 	}
 	p := &Prepared{db: db, plan: plan, builds: make(buildCache), spanCap: countPlanNodes(plan.Root)}
+	// Prune row-spaces are computed once and shared by every execution (and
+	// by the build drain below, so cached build sides make the same prune
+	// decisions as live ones — span-shape parity depends on it).
+	p.prunes = buildPruneCache(db, plan)
 	if err := p.prepareNode(plan.Root, opts.BatchSize); err != nil {
 		return nil, err
 	}
@@ -62,7 +67,7 @@ func (p *Prepared) prepareNode(pn *PlanNode, capRows int) error {
 		for i := range all {
 			all[i] = i
 		}
-		buildIt, bw, buildPop, buildNode, err := openCol(p.db, build, all, capRows, nil, p.builds, &execCtl{})
+		buildIt, bw, buildPop, buildNode, err := openCol(p.db, build, all, capRows, nil, p.builds, &execCtl{prunes: p.prunes})
 		if err != nil {
 			return err
 		}
@@ -94,9 +99,9 @@ func (p *Prepared) ExecuteContext(ctx context.Context, opts ExecOptions) (*ExecR
 	ctx, cancel := withTimeout(ctx, opts.Timeout)
 	defer cancel()
 	if opts.Parallelism >= 1 {
-		return executeParallelFrom(ctx, p.db, p.plan, opts, p.builds)
+		return executeParallelFrom(ctx, p.db, p.plan, opts, p.builds, p.prunes)
 	}
-	return executeColumnarFrom(ctx, p.db, p.plan, opts, nil, p.builds)
+	return executeColumnarFrom(ctx, p.db, p.plan, opts, nil, p.builds, p.prunes)
 }
 
 // ExecState is caller-owned reusable execution state for ExecuteIn: the
@@ -162,6 +167,7 @@ func (p *Prepared) ExecuteInContext(ctx context.Context, st *ExecState, opts Exe
 		// then recycled like the operator tree: its span, scratch buffers,
 		// and aggregation state all reset in place, so steady-state
 		// fast-path executions allocate nothing.
+		st.ctl.prunes = prunesFor(p.db, p.plan, opts, p.prunes)
 		st.sagg = summaryAggFor(p.db, p.plan, opts)
 		if st.sagg != nil {
 			st.sagg.open(&st.ctl)

@@ -41,6 +41,7 @@ import (
 	"math"
 	"math/bits"
 
+	"repro/internal/cycle"
 	"repro/internal/sqlkit"
 	"repro/internal/synopsis"
 	"repro/internal/trace"
@@ -557,15 +558,15 @@ func (e *summaryAggEval) fullCycleContrib(ai int, n int64) aggContrib {
 	}
 	r := &e.rs[e.needPos(c)]
 	if r.set == nil {
-		lo, hi := mul128(r.fixed, n)
+		lo, hi := cycle.Mul128(r.fixed, n)
 		return aggContrib{sumLo: lo, sumHi: hi, min: r.fixed, max: r.fixed}
 	}
 	S := r.set
 	cycles, rem := n/S.Len(), n%S.Len()
 	e.prefBuf = S.PrefixInto(e.prefBuf, rem)
-	slo, shi := sumSet128(S)
-	plo, phi := sumSet128(e.prefBuf)
-	lo, hi := mulAcc128(plo, phi, slo, shi, cycles)
+	slo, shi := cycle.SumSet128(S)
+	plo, phi := cycle.SumSet128(e.prefBuf)
+	lo, hi := cycle.MulAcc128(plo, phi, slo, shi, cycles)
 	out := aggContrib{sumLo: lo, sumHi: hi}
 	if cycles >= 1 {
 		out.min, out.max = S.Min(), S.Max()
@@ -586,12 +587,12 @@ func (e *summaryAggEval) drivenContrib(ai int, I value.IntervalSet, cycles, cnt 
 	}
 	r := &e.rs[e.needPos(c)]
 	if r.set == nil {
-		lo, hi := mul128(r.fixed, cnt)
+		lo, hi := cycle.Mul128(r.fixed, cnt)
 		return aggContrib{sumLo: lo, sumHi: hi, min: r.fixed, max: r.fixed}
 	}
-	slo, shi := sumSet128(I)
-	plo, phi := sumSet128(e.iprefBuf)
-	lo, hi := mulAcc128(plo, phi, slo, shi, cycles)
+	slo, shi := cycle.SumSet128(I)
+	plo, phi := cycle.SumSet128(e.iprefBuf)
+	lo, hi := cycle.MulAcc128(plo, phi, slo, shi, cycles)
 	out := aggContrib{sumLo: lo, sumHi: hi}
 	if cycles >= 1 {
 		out.min, out.max = I.Min(), I.Max()
@@ -613,7 +614,7 @@ func (e *summaryAggEval) pointContrib(ai int, v, cnt int64) aggContrib {
 	if r.set != nil {
 		x = v // the input is the driving column, by classification
 	}
-	lo, hi := mul128(x, cnt)
+	lo, hi := cycle.Mul128(x, cnt)
 	return aggContrib{sumLo: lo, sumHi: hi, min: x, max: x}
 }
 
@@ -667,7 +668,7 @@ func (e *summaryAggEval) estimateRow(row *synopsis.Row) {
 		}
 		e.prefBuf = S.PrefixInto(e.prefBuf, rem)
 		e.iprefBuf = I.IntersectInto(e.iprefBuf, e.prefBuf)
-		own := float64(cycles)*sumSetFloat(I) + sumSetFloat(e.iprefBuf)
+		own := float64(cycles)*cycle.SumSetFloat(I) + cycle.SumSetFloat(e.iprefBuf)
 		if fracD > 0 {
 			a.sum += own * frac / fracD
 		}
@@ -711,7 +712,7 @@ func (e *summaryAggEval) emitApprox(res *ExecResult, opts ExecOptions) {
 	st := e.st
 	ap := &e.ap
 	totalF := float64(st.counts[0]) + ap.estCnt
-	cnt := clampInt64(math.Round(totalF))
+	cnt := cycle.ClampInt64(math.Round(totalF))
 	e.apInfo = ApproxInfo{Estimated: true, CI95: 1.96 * math.Sqrt(ap.varCnt)}
 	res.Approx = &e.apInfo
 	if e.countOnly {
@@ -742,14 +743,14 @@ func (e *summaryAggEval) approxValue(it GroupOut, cnt int64, totalF float64) int
 	case sqlkit.AggCount:
 		return cnt
 	case sqlkit.AggSum, sqlkit.AggAvg:
-		total := sum128Float(st.accs[ai][0], st.accsHi[ai][0]) + a.sum
+		total := cycle.Sum128Float(st.accs[ai][0], st.accsHi[ai][0]) + a.sum
 		if st.aggs[ai].Fn == sqlkit.AggAvg {
 			if totalF <= 0 {
 				return 0
 			}
-			return clampInt64(math.Trunc(total / totalF))
+			return cycle.ClampInt64(math.Trunc(total / totalF))
 		}
-		return clampInt64(total)
+		return cycle.ClampInt64(total)
 	case sqlkit.AggMin:
 		switch {
 		case exactCnt > 0 && a.valid:
@@ -772,81 +773,4 @@ func (e *summaryAggEval) approxValue(it GroupOut, cnt int64, totalF float64) int
 		return 0
 	}
 	return 0
-}
-
-// 128-bit helpers. Codes are bounded by value.DomainMax (2⁶¹) and tuple
-// counts by the relation total, so every total the fast path forms is below
-// 2¹²⁴ in magnitude — comfortably inside signed 128-bit arithmetic; the
-// int64 fit of the final answer is judged by groupAggState.finish exactly as
-// on the regenerating paths.
-
-// mul128 returns the signed 128-bit product a·b as (low, high) words.
-func mul128(a, b int64) (lo, hi int64) {
-	h, l := bits.Mul64(uint64(a), uint64(b))
-	if a < 0 {
-		h -= uint64(b)
-	}
-	if b < 0 {
-		h -= uint64(a)
-	}
-	return int64(l), int64(h)
-}
-
-// mulAcc128 returns (accLo,accHi) + (lo,hi)·c for c >= 0, all signed 128-bit.
-func mulAcc128(accLo, accHi, lo, hi, c int64) (int64, int64) {
-	ph, pl := bits.Mul64(uint64(lo), uint64(c))
-	rhi := hi*c + int64(ph)
-	s, carry := bits.Add64(uint64(accLo), pl, 0)
-	return int64(s), accHi + rhi + int64(carry)
-}
-
-// sumSet128 returns the exact sum of a canonical interval set's points in
-// 128 bits. Per interval [a,b): Σ = u·(a+b−1)/2 with u = b−a; exactly one
-// of u and a+b−1 is even, so the halving is exact in integers.
-func sumSet128(s value.IntervalSet) (lo, hi int64) {
-	for _, iv := range s {
-		u := iv.Hi - iv.Lo
-		m := iv.Lo + iv.Hi - 1
-		var plo, phi int64
-		if u%2 == 0 {
-			plo, phi = mul128(u/2, m)
-		} else {
-			plo, phi = mul128(u, m/2)
-		}
-		s, carry := bits.Add64(uint64(lo), uint64(plo), 0)
-		lo = int64(s)
-		hi += phi + int64(carry)
-	}
-	return lo, hi
-}
-
-// sumSetFloat is sumSet128's float64 counterpart for the estimation path.
-func sumSetFloat(s value.IntervalSet) float64 {
-	var sum float64
-	for _, iv := range s {
-		sum += float64(iv.Hi-iv.Lo) * (float64(iv.Lo) + float64(iv.Hi-1)) / 2
-	}
-	return sum
-}
-
-// sum128Float converts a signed 128-bit value to float64.
-func sum128Float(lo, hi int64) float64 {
-	if hi == lo>>63 {
-		// The value fits in the low word; converting it directly avoids the
-		// catastrophic hi/lo cancellation of the wide path (−2⁶⁴ + ~2⁶⁴)
-		// for small negative values.
-		return float64(lo)
-	}
-	return math.Ldexp(float64(hi), 64) + float64(uint64(lo))
-}
-
-// clampInt64 saturates a float64 into int64.
-func clampInt64(f float64) int64 {
-	if f >= math.MaxInt64 {
-		return math.MaxInt64
-	}
-	if f <= math.MinInt64 {
-		return math.MinInt64
-	}
-	return int64(f)
 }

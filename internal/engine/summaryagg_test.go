@@ -11,7 +11,6 @@ package engine
 
 import (
 	"math"
-	"math/big"
 	"reflect"
 	"testing"
 
@@ -325,57 +324,5 @@ func TestSummaryAggGateConditions(t *testing.T) {
 	db.SetSummary("m", nil)
 	if summaryAggFor(db, plan, ExecOptions{}) != nil {
 		t.Fatal("fast path survived summary unregistration")
-	}
-}
-
-// big128 reconstructs the signed 128-bit value (hi·2⁶⁴ + uint64(lo)) as a
-// big.Int for exact comparison.
-func big128(lo, hi int64) *big.Int {
-	v := new(big.Int).Lsh(big.NewInt(hi), 64)
-	return v.Add(v, new(big.Int).SetUint64(uint64(lo)))
-}
-
-// TestSummaryAgg128BitHelpers cross-checks the 128-bit arithmetic the fast
-// path sums with against math/big references on edge values.
-func TestSummaryAgg128BitHelpers(t *testing.T) {
-	for _, tc := range []struct{ a, b int64 }{
-		{0, 0}, {1, 1}, {-1, 1}, {-1, -1},
-		{math.MaxInt64, 2}, {math.MinInt64, 3}, {1 << 61, 1 << 2},
-		{-(1 << 61), 12345}, {987654321, -123456789},
-		{math.MaxInt64, math.MaxInt64}, {math.MinInt64, math.MinInt64},
-	} {
-		lo, hi := mul128(tc.a, tc.b)
-		want := new(big.Int).Mul(big.NewInt(tc.a), big.NewInt(tc.b))
-		if got := big128(lo, hi); got.Cmp(want) != 0 {
-			t.Errorf("mul128(%d,%d) = (%d,%d) = %s, want %s", tc.a, tc.b, lo, hi, got, want)
-		}
-		if f, want := sum128Float(lo, hi), float64(tc.a)*float64(tc.b); math.Abs(f-want) > math.Abs(want)*1e-9 {
-			t.Errorf("sum128Float(mul128(%d,%d)) = %g, want ≈ %g", tc.a, tc.b, f, want)
-		}
-		// mulAcc128 accumulates c copies of (lo,hi) onto a running pair.
-		// Its contract is bounded by the evaluator's use — Σ value·count
-		// with total count ≤ 2⁶³, which always fits 128 bits — so only
-		// check in-range accumulations.
-		wantAcc := new(big.Int).Add(big.NewInt(5), new(big.Int).Mul(want, big.NewInt(3)))
-		if wantAcc.BitLen() < 127 {
-			alo, ahi := mulAcc128(5, 0, lo, hi, 3)
-			if got := big128(alo, ahi); got.Cmp(wantAcc) != 0 {
-				t.Errorf("mulAcc128(5, 3×%s) = %s, want %s", want, got, wantAcc)
-			}
-		}
-	}
-	s := set(value.Ival(-3, 2), value.Ival(10, 14))
-	lo, hi := sumSet128(s)
-	var want int64
-	for _, iv := range s {
-		for v := iv.Lo; v < iv.Hi; v++ {
-			want += v
-		}
-	}
-	if hi != want>>63 || lo != want {
-		t.Fatalf("sumSet128(%v) = (%d,%d), want %d", s, lo, hi, want)
-	}
-	if f := sumSetFloat(s); f != float64(want) {
-		t.Fatalf("sumSetFloat(%v) = %g, want %d", s, f, want)
 	}
 }

@@ -1,0 +1,118 @@
+package experiments
+
+// E18: predicate pushdown into generation pays off in proportion to
+// selectivity. The unpruned pipeline regenerates every fact tuple and
+// filters afterward, so its latency is flat in the predicate; the pruned
+// scan intersects the predicate with the summary at plan time and generates
+// only the qualifying row-space, so its latency tracks the survivors.
+// Sweeping selectivity from 0.1% to 100% on a non-aggregate top-K sort
+// shows the crossover directly, with byte-identical results at every point —
+// pruning is a pure optimization, never an approximation.
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqlkit"
+	"repro/internal/summary"
+)
+
+// E18ScanPrune sweeps predicate selectivity on a filtered top-K ORDER BY
+// over the fact table and times each point with pruning on and off. The
+// predicate is a primary-key window, so the qualifying fraction is exact at
+// every sweep point and the prune decision is provable for every summary
+// row. The experiment fails if any point disagrees byte for byte, or if a
+// selective point silently executed without pruning.
+func E18ScanPrune(w io.Writer, cfg Config, selectivities []float64) error {
+	pkg, err := capture(cfg)
+	if err != nil {
+		return err
+	}
+	sum, _, err := core.BuildFromPackage(pkg, summary.DefaultBuildOptions())
+	if err != nil {
+		return err
+	}
+	rel := sum.Relations["store_sales"]
+	if rel == nil {
+		return fmt.Errorf("E18: summary has no store_sales relation")
+	}
+	regen := core.RegenDatabase(sum, 0)
+
+	fmt.Fprintln(w, "E18: predicate pushdown — latency tracks survivors, not table size")
+	fmt.Fprintf(w, "query: SELECT * FROM store_sales WHERE ss_sk < K ORDER BY ss_sales_price DESC LIMIT 100  (K sweeps selectivity over %d fact rows)\n", rel.Total)
+	fmt.Fprintf(w, "%-8s %-12s %-12s %-14s %-14s %-10s\n",
+		"sel", "qualifying", "pruned", "unpruned", "pruned_scan", "speedup")
+	for _, sel := range selectivities {
+		k := int64(sel * float64(rel.Total))
+		if k < 1 {
+			k = 1
+		}
+		sql := fmt.Sprintf("SELECT * FROM store_sales WHERE ss_sk < %d ORDER BY ss_sales_price DESC LIMIT 100", k)
+		q, err := sqlkit.Parse(sql)
+		if err != nil {
+			return err
+		}
+		plan, err := engine.BuildPlan(regen.Schema, q)
+		if err != nil {
+			return err
+		}
+		opts := engine.ExecOptions{SampleLimit: 8, NoSummaryAgg: true}
+		refOpts := opts
+		refOpts.NoScanPrune = true
+		slow, slowElapsed, err := bestExec(regen, plan, refOpts)
+		if err != nil {
+			return err
+		}
+		fast, fastElapsed, err := bestExec(regen, plan, opts)
+		if err != nil {
+			return err
+		}
+		if fast.Rows != slow.Rows || fast.Count != slow.Count || !reflect.DeepEqual(fast.Sample, slow.Sample) {
+			return fmt.Errorf("E18: sel=%.4f pruned result diverged: rows %d/%d", sel, fast.Rows, slow.Rows)
+		}
+		pruned := prunedScanRows(fast.Root)
+		if sel < 1 && pruned == 0 {
+			return fmt.Errorf("E18: sel=%.4f executed without pruning; the pruned scan path has regressed", sel)
+		}
+		fmt.Fprintf(w, "%-8.4f %-12d %-12d %-14v %-14v %-10.1f\n",
+			sel, k, pruned,
+			slowElapsed.Round(time.Microsecond), fastElapsed.Round(time.Microsecond),
+			float64(slowElapsed)/float64(fastElapsed))
+	}
+	fmt.Fprintln(w, "results byte-identical at every selectivity; tuples outside the qualifying row-space were never generated")
+	return nil
+}
+
+// bestExec times best-of-7 executions. The sweep's pruned points run in
+// tens of microseconds, where a single GC pause or scheduler stall poisons
+// a median-of-3; noise is one-sided, so the minimum is the right estimator
+// of achievable latency.
+func bestExec(db *engine.Database, plan *engine.Plan, opts engine.ExecOptions) (*engine.ExecResult, time.Duration, error) {
+	var res *engine.ExecResult
+	best := time.Duration(0)
+	for i := 0; i < 7; i++ {
+		start := time.Now()
+		r, err := engine.Execute(db, plan, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		elapsed := time.Since(start)
+		if res == nil || elapsed < best {
+			res, best = r, elapsed
+		}
+	}
+	return res, best, nil
+}
+
+// prunedScanRows sums scan-node prune accounting across an executed tree.
+func prunedScanRows(n *engine.ExecNode) int64 {
+	total := n.RowsPruned
+	for _, c := range n.Children {
+		total += prunedScanRows(c)
+	}
+	return total
+}

@@ -13,7 +13,6 @@
 package generator
 
 import (
-	"sort"
 	"sync"
 	"time"
 
@@ -109,14 +108,32 @@ func (s *Stream) SeekRow(i int64) {
 	if n := s.end - s.base; i > n {
 		i = n
 	}
-	g := s.base + i // global tuple index
-	cum := s.cumCounts()
+	s.cumCounts()
+	s.seekTo(s.base + i)
+}
+
+// seekTo lands the stream on global tuple index g. It is SeekRow without
+// the clamping or the lazy index build — s.cum must already be populated —
+// so the pruned scan's segment hopping (sectionset.go) can reposition from
+// hot generation loops without closures or sync.Once.
+//
+//hydra:hotpath
+func (s *Stream) seekTo(g int64) {
+	cum := s.cum
 	// Smallest j with cum[j+1] > g: summary row j holds tuple g. For
 	// g == Total the search lands past the last row, exhausting the stream.
-	j := sort.Search(len(s.rel.Rows), func(j int) bool { return cum[j+1] > g })
-	s.rowIdx = j
-	if j < len(s.rel.Rows) {
-		s.within = g - cum[j]
+	lo, hi := 0, len(s.rel.Rows)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid+1] > g {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s.rowIdx = lo
+	if lo < len(s.rel.Rows) {
+		s.within = g - cum[lo]
 	} else {
 		s.within = 0
 	}
@@ -219,6 +236,16 @@ const tileRows = 128
 //hydra:hotpath
 func (s *Stream) NextBatch(dst *batch.Batch) bool {
 	dst.Reset()
+	s.fillBatch(dst)
+	return dst.Len() > 0
+}
+
+// fillBatch appends generated rows to dst without resetting it, until dst
+// is full or the stream's range is exhausted. SectionSet splices several
+// range segments into one batch through this.
+//
+//hydra:hotpath
+func (s *Stream) fillBatch(dst *batch.Batch) {
 	ncols := len(s.table.Columns)
 	for !dst.Full() && s.pk < s.end && s.rowIdx < len(s.rel.Rows) {
 		row := &s.rel.Rows[s.rowIdx]
@@ -259,7 +286,6 @@ func (s *Stream) NextBatch(dst *batch.Batch) bool {
 		s.within += k
 		s.pk += k
 	}
-	return dst.Len() > 0
 }
 
 // NextColBatch resets dst and fills it with up to dst.Cap() generated rows
@@ -277,6 +303,15 @@ func (s *Stream) NextBatch(dst *batch.Batch) bool {
 //hydra:hotpath
 func (s *Stream) NextColBatch(dst *batch.ColBatch, cols []int) bool {
 	dst.Reset()
+	s.fillColBatch(dst, cols)
+	return dst.Len() > 0
+}
+
+// fillColBatch is NextColBatch's kernel without the reset: it appends to
+// whatever dst already holds, so SectionSet can splice segments.
+//
+//hydra:hotpath
+func (s *Stream) fillColBatch(dst *batch.ColBatch, cols []int) {
 	for dst.Len() < dst.Cap() && s.pk < s.end && s.rowIdx < len(s.rel.Rows) {
 		row := &s.rel.Rows[s.rowIdx]
 		if s.within >= row.Count {
@@ -329,7 +364,6 @@ func (s *Stream) NextColBatch(dst *batch.ColBatch, cols []int) bool {
 		s.within += k
 		s.pk += k
 	}
-	return dst.Len() > 0
 }
 
 // fillCycling writes the cycling-set column col of a row-major segment:

@@ -1,0 +1,163 @@
+package generator
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/schema"
+	"repro/internal/synopsis"
+	"repro/internal/value"
+)
+
+// ssTable builds a 3-column table (pk, a, b) and a summary whose rows mix
+// fixed, cycling, and unspecced columns with counts that are deliberately
+// not multiples of the cycle lengths, so segment hops land mid-cycle.
+func ssTable() (*schema.Table, *synopsis.Relation) {
+	t := &schema.Table{
+		Name: "s",
+		Columns: []*schema.Column{
+			{Name: "pk", PrimaryKey: true},
+			{Name: "a"},
+			{Name: "b"},
+		},
+	}
+	fixed := int64(77)
+	nine := int64(9)
+	rel := &synopsis.Relation{
+		Table: "s",
+		Total: 100,
+		Rows: []synopsis.Row{
+			{Count: 37, Specs: []synopsis.ColSpec{
+				{Col: 1, Set: value.IntervalSet{value.Ival(0, 5), value.Ival(10, 12)}},
+				{Col: 2, Fixed: &fixed},
+			}},
+			{Count: 13, Specs: []synopsis.ColSpec{
+				{Col: 1, Fixed: &fixed},
+				{Col: 2, Set: value.IntervalSet{value.Ival(100, 105)}},
+			}},
+			{Count: 50, Specs: []synopsis.ColSpec{
+				{Col: 1, Fixed: &nine},
+				{Col: 2, Set: value.IntervalSet{value.Ival(-3, 4)}},
+			}},
+		},
+	}
+	return t, rel
+}
+
+// collect drains a batch source into row-major rows.
+func collect(t *testing.T, src batch.Source, width int) [][]int64 {
+	t.Helper()
+	b := batch.New(width, 32)
+	var out [][]int64
+	for src.NextBatch(b) {
+		data := b.Data()
+		for i := 0; i+width <= len(data); i += width {
+			out = append(out, append([]int64(nil), data[i:i+width]...))
+		}
+	}
+	return out
+}
+
+// reference generates the full stream and keeps rows whose global index
+// falls in ivs — the generate-then-filter semantics SectionSet must match.
+func reference(t *testing.T, tab *schema.Table, rel *synopsis.Relation, ivs value.IntervalSet) [][]int64 {
+	t.Helper()
+	full := collect(t, NewStream(tab, rel), len(tab.Columns))
+	var out [][]int64
+	for g, row := range full {
+		if ivs.Contains(int64(g)) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func TestSectionSetByteIdentical(t *testing.T) {
+	tab, rel := ssTable()
+	for _, tc := range []struct {
+		name string
+		ivs  value.IntervalSet
+	}{
+		{"empty", nil},
+		{"all", value.IntervalSet{value.Ival(0, 100)}},
+		{"single-point", value.IntervalSet{value.Ival(42, 43)}},
+		{"one-span", value.IntervalSet{value.Ival(10, 30)}},
+		{"row-straddle", value.IntervalSet{value.Ival(30, 45)}}, // crosses summary rows 0→1
+		{"many", value.IntervalSet{value.Ival(0, 3), value.Ival(7, 8), value.Ival(20, 40), value.Ival(50, 51), value.Ival(99, 100)}},
+		{"mid-cycle", value.IntervalSet{value.Ival(8, 9), value.Ival(15, 16), value.Ival(23, 24)}}, // same rank, different cycles
+		{"tail", value.IntervalSet{value.Ival(97, 100)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := reference(t, tab, rel, tc.ivs)
+			ss := NewStream(tab, rel).sectionSet(tc.ivs)
+			if got, wantN := ss.Total(), int64(len(want)); got != wantN {
+				t.Fatalf("Total() = %d, want %d", got, wantN)
+			}
+			got := collect(t, ss, len(tab.Columns))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("rows = %v, want %v", got, want)
+			}
+
+			// Column-major with projection must agree column by column.
+			ss2 := NewStream(tab, rel).sectionSet(tc.ivs)
+			cols := []int{0, 2}
+			cb := batch.NewCol(len(tab.Columns), 16, cols)
+			var ci int
+			for ss2.NextColBatch(cb, cols) {
+				for i := 0; i < cb.Len(); i++ {
+					for _, c := range cols {
+						if got, want := cb.Col(c)[i], want[ci][c]; got != want {
+							t.Fatalf("col batch row %d col %d = %d, want %d", ci, c, got, want)
+						}
+					}
+					ci++
+				}
+			}
+			if ci != len(want) {
+				t.Fatalf("col batches yielded %d rows, want %d", ci, len(want))
+			}
+		})
+	}
+}
+
+func TestSectionSetSeekAndSection(t *testing.T) {
+	tab, rel := ssTable()
+	ivs := value.IntervalSet{value.Ival(5, 12), value.Ival(33, 60), value.Ival(80, 95)}
+	want := reference(t, tab, rel, ivs)
+
+	// SeekRow(i) mid-window resumes at the i-th qualifying row.
+	for _, at := range []int64{0, 1, 6, 7, 20, int64(len(want)) - 1, int64(len(want))} {
+		ss := NewStream(tab, rel).sectionSet(ivs)
+		ss.SeekRow(at)
+		got := collect(t, ss, len(tab.Columns))
+		if wantTail := want[at:]; !reflect.DeepEqual(got, append([][]int64(nil), wantTail...)) {
+			if !(len(got) == 0 && len(wantTail) == 0) {
+				t.Fatalf("SeekRow(%d): got %d rows, want %d", at, len(got), len(wantTail))
+			}
+		}
+	}
+
+	// Partitioning the pruned space: the concatenation of sections over
+	// pruned coordinates reproduces the whole window exactly.
+	ss := NewStream(tab, rel).sectionSet(ivs)
+	total := ss.Total()
+	for _, n := range []int64{1, 2, 3, 7, total, total + 5} {
+		var got [][]int64
+		for k := int64(0); k < n; k++ {
+			lo := total * k / n
+			hi := total * (k + 1) / n
+			got = append(got, collect(t, ss.Section(lo, hi), len(tab.Columns))...)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d-way section concat: got %d rows, want %d", n, len(got), len(want))
+		}
+	}
+
+	// Sections nest: a section of a section addresses the inner window.
+	mid := ss.Section(3, total-2).(*SectionSet)
+	inner := collect(t, mid.Section(1, 4), len(tab.Columns))
+	if !reflect.DeepEqual(inner, append([][]int64(nil), want[4:7]...)) {
+		t.Fatalf("nested section: got %v, want %v", inner, want[4:7])
+	}
+}

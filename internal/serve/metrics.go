@@ -117,6 +117,11 @@ type metrics struct {
 	// summaryAggQueries counts queries answered by the summary-direct
 	// aggregate fast path (ExecResult.Path == "summary").
 	summaryAggQueries atomic.Int64
+	// rowsPruned and summaryRowsSkipped sum the scan nodes' prune
+	// accounting: tuples proven non-matching at plan time and never
+	// generated, and whole summary rows excluded outright.
+	rowsPruned         atomic.Int64
+	summaryRowsSkipped atomic.Int64
 }
 
 type outcomeSeries struct {
@@ -154,19 +159,22 @@ func (m *metrics) record(outcome string, d time.Duration) {
 func (m *metrics) recordShed(reason string) { m.shed[reason].Add(1) }
 
 // observeQuery folds one successful execution into the engine counters:
-// rows regenerated by scans and result cardinality always; per-operator
-// self-time observations and batch counts when the query carried a span
-// tree.
-func (m *metrics) observeQuery(res *engine.ExecResult, elapsed time.Duration) {
+// rows regenerated by scans, rows pruned away before generation, and result
+// cardinality always; per-operator self-time observations and batch counts
+// when the query carried a span tree. It returns the query's total pruned
+// rows so the caller can surface them in its stats ring.
+func (m *metrics) observeQuery(res *engine.ExecResult, elapsed time.Duration) (pruned int64) {
 	m.resultRows.Add(res.Rows)
 	if res.Path == engine.PathSummary {
 		m.summaryAggQueries.Add(1)
 	}
-	var scanRows int64
+	var scanRows, skipped int64
 	var walk func(n *engine.ExecNode)
 	walk = func(n *engine.ExecNode) {
 		if n.Op == "SCAN" {
 			scanRows += n.OutRows
+			pruned += n.RowsPruned
+			skipped += n.SummaryRowsSkipped
 		}
 		for _, ch := range n.Children {
 			walk(ch)
@@ -174,8 +182,10 @@ func (m *metrics) observeQuery(res *engine.ExecResult, elapsed time.Duration) {
 	}
 	walk(res.Root)
 	m.rowsGenerated.Add(scanRows)
+	m.rowsPruned.Add(pruned)
+	m.summaryRowsSkipped.Add(skipped)
 	if res.Trace == nil {
-		return
+		return pruned
 	}
 	trace.Walk(res.Trace, func(sp *trace.Span) {
 		m.batches.Add(sp.Batches)
@@ -183,6 +193,7 @@ func (m *metrics) observeQuery(res *engine.ExecResult, elapsed time.Duration) {
 			h.observe(time.Duration(sp.SelfNS()))
 		}
 	})
+	return pruned
 }
 
 // buildInfo resolves the binary's identity labels once: module version,
@@ -292,6 +303,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP hydra_summaryagg_queries_total Queries answered by the summary-direct aggregate fast path (no tuple regeneration).\n")
 	fmt.Fprintf(&b, "# TYPE hydra_summaryagg_queries_total counter\n")
 	fmt.Fprintf(&b, "hydra_summaryagg_queries_total %d\n", s.met.summaryAggQueries.Load())
+
+	fmt.Fprintf(&b, "# HELP hydra_rows_pruned_total Tuples proven non-matching at plan time and never generated (scan pruning).\n")
+	fmt.Fprintf(&b, "# TYPE hydra_rows_pruned_total counter\n")
+	fmt.Fprintf(&b, "hydra_rows_pruned_total %d\n", s.met.rowsPruned.Load())
+
+	fmt.Fprintf(&b, "# HELP hydra_summary_rows_skipped_total Whole summary rows excluded by scan pruning before any position work.\n")
+	fmt.Fprintf(&b, "# TYPE hydra_summary_rows_skipped_total counter\n")
+	fmt.Fprintf(&b, "hydra_summary_rows_skipped_total %d\n", s.met.summaryRowsSkipped.Load())
 
 	fmt.Fprintf(&b, "# HELP hydra_plan_cache_build_seconds_total Wall time spent parsing, planning, and building (cache misses and bypasses).\n")
 	fmt.Fprintf(&b, "# TYPE hydra_plan_cache_build_seconds_total counter\n")

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -256,6 +257,8 @@ func TestServeObservabilityMetrics(t *testing.T) {
 		"hydra_engine_rows_generated_total",
 		"hydra_engine_result_rows_total",
 		"hydra_engine_batches_total",
+		"hydra_rows_pruned_total",
+		"hydra_summary_rows_skipped_total",
 		"hydra_plan_cache_build_seconds_total",
 		"hydra_goroutines",
 		"hydra_gc_pause_seconds_total",
@@ -349,6 +352,58 @@ func TestServeSummaryAggPath(t *testing.T) {
 	}
 	if want := "hydra_summaryagg_queries_total 2"; !strings.Contains(string(data), want+"\n") {
 		t.Fatalf("/metricsz missing %q", want)
+	}
+}
+
+// TestServeScanPruneObservability pins the serve surface of predicate
+// pushdown: the filtered join regenerates only the qualifying row-space, so
+// hydra_rows_pruned_total and hydra_summary_rows_skipped_total advance and
+// the /statsz ring carries the query's pruned-tuple count.
+func TestServeScanPruneObservability(t *testing.T) {
+	sum := buildToySummary(t)
+	srv := New(sum, Options{SampleLimit: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// toy.Query filters s and t; both filters prune on the toy summary.
+	sql := toy.Workload()[3]
+	if resp, _ := postQueryReq(t, ts.URL, QueryRequest{SQL: sql}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pruned int64
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.HasPrefix(line, "hydra_rows_pruned_total "):
+			fmt.Sscanf(line, "hydra_rows_pruned_total %d", &pruned)
+			if pruned <= 0 {
+				t.Fatalf("rows-pruned counter not advanced: %s", line)
+			}
+		case strings.HasPrefix(line, "hydra_summary_rows_skipped_total "):
+			if strings.HasSuffix(line, " 0") {
+				t.Fatalf("summary-rows-skipped counter not advanced: %s", line)
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("/metricsz missing hydra_rows_pruned_total")
+	}
+
+	stats := getStats(t, ts.URL)
+	if len(stats.Recent) == 0 {
+		t.Fatal("statsz ring empty")
+	}
+	if got := stats.Recent[0].Pruned; got != pruned {
+		t.Fatalf("statsz recent[0] pruned %d, want %d (the query's whole prune count)", got, pruned)
 	}
 }
 

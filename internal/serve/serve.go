@@ -495,7 +495,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	elapsed := time.Since(start)
-	s.met.observeQuery(res, elapsed)
+	pruned := s.met.observeQuery(res, elapsed)
 	// The response always names the execution path; the engine leaves
 	// Path empty for the regenerating pipeline.
 	path := res.Path
@@ -516,6 +516,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Rows:      res.Rows,
 		TopOp:     topOp,
 		Path:      path,
+		Pruned:    pruned,
 	})
 	if thr := s.opts.SlowQueryThreshold; thr > 0 && elapsed >= thr {
 		attrs := []any{

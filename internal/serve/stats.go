@@ -23,6 +23,9 @@ type QuerySummary struct {
 	// summary-direct aggregate fast path proved the answer from summary-row
 	// arithmetic, "regen" when tuples were regenerated.
 	Path string `json:"path,omitempty"`
+	// Pruned is the number of tuples scan pruning proved non-matching and
+	// never generated for this query (0 when pruning did not apply).
+	Pruned int64 `json:"pruned,omitempty"`
 	// TopOp is the operator with the largest self time when the query was
 	// traced, else the plan's root operator.
 	TopOp string `json:"top_op,omitempty"`

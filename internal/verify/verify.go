@@ -57,8 +57,10 @@ func Verify(db *engine.Database, workload []*aqp.AQP) (*Report, error) {
 		}
 		// Verification compares full operator trees edge by edge, so the
 		// summary-direct fast path (which collapses the tree to one node)
-		// must stand aside: regeneration is the thing being verified.
-		res, err := engine.Execute(db, plan, engine.ExecOptions{NoSummaryAgg: true})
+		// and scan pruning (which can absorb a filter operator outright)
+		// must stand aside: regeneration is the thing being verified, and
+		// the tree must be isomorphic to the client's annotation.
+		res, err := engine.Execute(db, plan, engine.ExecOptions{NoSummaryAgg: true, NoScanPrune: true})
 		if err != nil {
 			return nil, fmt.Errorf("verify: query %d: %w", qi, err)
 		}

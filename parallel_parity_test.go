@@ -96,7 +96,9 @@ func TestParallelParityVelocityFallback(t *testing.T) {
 	slow := Regen(sum, 1e9) // paced, effectively unthrottled
 	fast := Regen(sum, 0)
 	sql := toy.Workload()[0]
-	opts := engine.ExecOptions{SampleLimit: 5}
+	// A paced stream cannot prune (it lacks the row-space capability), so the
+	// full-speed reference must scan unpruned too for the trees to match.
+	opts := engine.ExecOptions{SampleLimit: 5, NoScanPrune: true}
 	want := execWith(t, fast, sql, opts, engine.Execute)
 	popts := opts
 	popts.Parallelism = 4

@@ -151,6 +151,43 @@ func TestSteadyStateZeroAllocSummaryAgg(t *testing.T) {
 	}
 }
 
+// TestSteadyStateZeroAllocPruned pins the zero-allocation contract on the
+// pruned scan path: a filtered join whose filter is absorbed into the scan's
+// row-space executes through SectionSet iterators that rewind in place, so
+// repeated ExecuteIn — regenerating only the qualifying tuples each time —
+// allocates nothing. This is the "pruned_steady" row "hydra bench -json"
+// enforces in CI.
+func TestSteadyStateZeroAllocPruned(t *testing.T) {
+	sum := toySummary(t)
+	db := core.RegenDatabase(sum, 0)
+	opts := ExecOptions{NoSummaryAgg: true}
+	prep, err := Prepare(db, "SELECT COUNT(*) FROM r, s WHERE r.s_fk = s.s_pk AND s.a >= 20 AND s.a < 22", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st engine.ExecState
+	res, err := prep.ExecuteIn(&st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned := prunedRows(res.Root); pruned == 0 {
+		t.Fatal("audit query did not prune; the pruned steady state is not being exercised")
+	}
+	want := res.Count
+	allocs := testing.AllocsPerRun(200, func() {
+		res, err := prep.ExecuteIn(&st, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Fatalf("count drifted: %d, want %d", res.Count, want)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("pruned steady state allocates %.2f objects per query, want 0", allocs)
+	}
+}
+
 // TestSteadyStateZeroAllocGroupBy extends the zero-allocation audit to the
 // grouped pipeline: after warmup, repeated ExecuteIn of a GROUP BY /
 // multi-aggregate query recycles the hash-agg state — open-addressed group

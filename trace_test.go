@@ -301,13 +301,13 @@ func TestRenderTraceParallelShape(t *testing.T) {
 
 // explainGolden is the scrubbed EXPLAIN ANALYZE rendering of toy.Query on
 // the seed-42 toy summary. Regenerate by running this test with -v after an
-// intentional render change and copying the "got" block.
+// intentional render change and copying the "got" block. Both single-table
+// filters are fully absorbed by scan pruning: the scans iterate only the
+// qualifying row-space and report what generation never materialized.
 const explainGolden = `
 HASH JOIN r.t_fk = t.t_pk  (time=X self=X rows=531 batches=1 build=X sel=13.5%)
 ├── HASH JOIN r.s_fk = s.s_pk  (time=X self=X rows=3924 batches=4 bytes=31392 build=X sel=38.5%)
 │   ├── SCAN r  (time=X self=X rows=10000 batches=10 bytes=160000)
-│   └── FILTER a ∈ {[20,60)}  (time=X self=X rows=195 batches=1 sel=39.0% detached)
-│       └── SCAN s  (time=X self=X rows=500 batches=1 bytes=8000)
-└── FILTER c ∈ {[2,3)}  (time=X self=X rows=14 batches=1 sel=14.0% detached)
-    └── SCAN t  (time=X self=X rows=100 batches=1 bytes=1600)
+│   └── SCAN s [pruned 305 rows, skipped 3 summary rows]  (time=X self=X rows=195 batches=1 bytes=1560 detached)
+└── SCAN t [pruned 86 rows, skipped 2 summary rows]  (time=X self=X rows=14 batches=1 bytes=112 detached)
 `
